@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig 13: read-retry counts per wordline on the TLC chip at P/E 5000
+ * + 1 year: the vendor retry table ("current flash") vs the sentinel
+ * scheme.
+ */
+
+#include "bench_support.hh"
+#include "core/read_policy.hh"
+#include "ecc/ecc_model.hh"
+
+using namespace flash;
+
+int
+main()
+{
+    bench::header("Figure 13",
+                  "read retries per wordline, current flash vs sentinel "
+                  "(TLC, P/E 5000 + 1 y, MSB page)",
+                  "current flash needs >5 retries on many wordlines "
+                  "(avg 6.6); sentinel averages 1.2");
+
+    auto chip = bench::makeTlcChip();
+    const auto tables = bench::characterize(chip, 8);
+    const auto overlay =
+        core::makeOverlay(chip.geometry(), core::SentinelConfig{});
+    chip.programBlock(bench::kEvalBlock, bench::kChipSeed ^ 0x13, overlay);
+    bench::ageBlock(chip, bench::kEvalBlock, 5000);
+
+    const ecc::EccModel ecc_model(ecc::EccConfig{16384, 145});
+    const core::LatencyParams lat;
+
+    core::VendorRetryPolicy vendor(chip.model());
+    core::SentinelPolicy sentinel(tables, chip.model().defaultVoltages());
+
+    const auto vs = core::evaluateBlock(chip, bench::kEvalBlock, vendor,
+                                        ecc_model, overlay, lat);
+    const auto ss = core::evaluateBlock(chip, bench::kEvalBlock, sentinel,
+                                        ecc_model, overlay, lat);
+
+    util::TextTable table;
+    table.header({"wordline", "current flash", "sentinel"});
+    for (std::size_t i = 0; i < vs.retriesPerWordline.size(); i += 8) {
+        table.row({util::fmtInt(static_cast<int>(i)),
+                   util::fmtInt(vs.retriesPerWordline[i]),
+                   util::fmtInt(ss.retriesPerWordline[i])});
+    }
+    table.print(std::cout);
+
+    int v_over5 = 0;
+    for (int r : vs.retriesPerWordline)
+        v_over5 += r > 5;
+
+    std::cout << "\ncurrent flash: mean retries "
+              << util::fmt(vs.retries.mean(), 2) << " (max "
+              << util::fmt(vs.retries.max(), 0) << "), " << v_over5 << "/"
+              << vs.sessions << " wordlines need >5 retries, failures "
+              << vs.failures << '\n';
+    std::cout << "sentinel:      mean retries "
+              << util::fmt(ss.retries.mean(), 2) << " (max "
+              << util::fmt(ss.retries.max(), 0) << "), failures "
+              << ss.failures << '\n';
+    std::cout << "retry reduction: "
+              << util::fmtPct(1.0
+                              - ss.retries.mean()
+                                  / std::max(1e-9, vs.retries.mean()))
+              << " (paper: 82%, 6.6 -> 1.2)\n";
+    std::cout << "chip-level read latency: "
+              << util::fmt(vs.latencyUs.mean(), 0) << " us -> "
+              << util::fmt(ss.latencyUs.mean(), 0) << " us ("
+              << util::fmtPct(1.0
+                              - ss.latencyUs.mean() / vs.latencyUs.mean())
+              << " lower)\n";
+
+    bench::footer("sentinel removes most retries; current flash needs "
+                  "many-step staircases on most wordlines");
+    return 0;
+}

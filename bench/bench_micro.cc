@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Microbenchmarks of the hot paths (google-benchmark): per-cell
+ * sensing, snapshot construction, threshold queries, oracle search,
+ * inference, and the real codecs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hh"
+#include "core/error_difference.hh"
+#include "core/inference.hh"
+#include "ecc/bch.hh"
+#include "ecc/ldpc.hh"
+#include "nandsim/snapshot.hh"
+#include "util/rng.hh"
+
+using namespace flash;
+
+namespace
+{
+
+nand::Chip &
+benchChip()
+{
+    static nand::Chip chip = [] {
+        auto c = bench::makeQlcChip();
+        bench::ageBlock(c, bench::kEvalBlock, 3000);
+        return c;
+    }();
+    return chip;
+}
+
+void
+BM_CellSense(benchmark::State &state)
+{
+    auto &chip = benchChip();
+    const auto ctx = chip.wordlineContext(bench::kEvalBlock, 0);
+    int col = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            chip.cellVth(ctx, bench::kEvalBlock, 0, col, 5, 1));
+        col = (col + 1) & 0xffff;
+    }
+}
+BENCHMARK(BM_CellSense);
+
+void
+BM_SnapshotBuild(benchmark::State &state)
+{
+    auto &chip = benchChip();
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        const auto snap = nand::WordlineSnapshot::dataRegion(
+            chip, bench::kEvalBlock, 3, seq++);
+        benchmark::DoNotOptimize(snap.cells());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * chip.geometry().dataBitlines);
+}
+BENCHMARK(BM_SnapshotBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_BoundaryErrorQuery(benchmark::State &state)
+{
+    auto &chip = benchChip();
+    const auto snap =
+        nand::WordlineSnapshot::dataRegion(chip, bench::kEvalBlock, 3, 1);
+    const int v = chip.model().defaultVoltage(8);
+    int off = -40;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(snap.boundaryErrors(8, v + off));
+        off = off >= 40 ? -40 : off + 1;
+    }
+}
+BENCHMARK(BM_BoundaryErrorQuery);
+
+void
+BM_OracleSearchAllBoundaries(benchmark::State &state)
+{
+    auto &chip = benchChip();
+    const auto snap =
+        nand::WordlineSnapshot::dataRegion(chip, bench::kEvalBlock, 3, 1);
+    const auto defaults = chip.model().defaultVoltages();
+    const nand::OracleSearch oracle;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(oracle.optimalVoltages(snap, defaults));
+}
+BENCHMARK(BM_OracleSearchAllBoundaries)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SentinelInference(benchmark::State &state)
+{
+    auto &chip = benchChip();
+    static const auto tables = bench::characterize(chip, 96);
+    const auto overlay =
+        core::makeOverlay(chip.geometry(), core::SentinelConfig{});
+    chip.programBlock(bench::kEvalBlock, 1, overlay);
+    bench::ageBlock(chip, bench::kEvalBlock, 3000);
+    const auto defaults = chip.model().defaultVoltages();
+    const core::InferenceEngine engine(tables, defaults);
+    const int v_s = defaults[8];
+
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        const auto sent = core::sentinelSnapshot(chip, bench::kEvalBlock,
+                                                 0, overlay, seq++);
+        const double d = core::countSentinelErrors(sent, 8, v_s).dRate();
+        benchmark::DoNotOptimize(engine.infer(d));
+    }
+    state.SetLabel("sentinel read + inference");
+}
+BENCHMARK(BM_SentinelInference)->Unit(benchmark::kMicrosecond);
+
+void
+BM_BchDecode(benchmark::State &state)
+{
+    const ecc::BchCodec codec(13, 8, 2048);
+    util::Rng rng(7);
+    std::vector<std::uint8_t> data(2048);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.uniformInt(2));
+    const auto clean = codec.encode(data);
+    for (auto _ : state) {
+        auto frame = clean;
+        for (int e = 0; e < 6; ++e) {
+            frame[rng.uniformInt(
+                static_cast<std::uint64_t>(codec.frameBits()))] ^= 1;
+        }
+        benchmark::DoNotOptimize(codec.decode(frame));
+    }
+}
+BENCHMARK(BM_BchDecode)->Unit(benchmark::kMicrosecond);
+
+void
+BM_LdpcDecode(benchmark::State &state)
+{
+    const ecc::QcLdpc code(211, 3, 24);
+    const ecc::MinSumDecoder dec(code);
+    util::Rng rng(9);
+    std::vector<float> llr(static_cast<std::size_t>(code.n()), 4.0f);
+    for (int e = 0; e < code.n() / 100; ++e)
+        llr[rng.uniformInt(static_cast<std::uint64_t>(code.n()))] = -4.0f;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dec.decode(llr));
+    state.SetLabel("n=" + std::to_string(code.n()) + ", 1% raw BER");
+}
+BENCHMARK(BM_LdpcDecode)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

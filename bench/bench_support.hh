@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared setup for the figure/table regeneration harnesses.
+ *
+ * Every binary reproduces one figure or table of the paper on the
+ * simulated chips. Geometry is the paper's (18592-byte pages, 64
+ * layers); wordlines are subsampled where the paper plots all of
+ * them, purely for runtime.
+ */
+
+#ifndef SENTINELFLASH_BENCH_BENCH_SUPPORT_HH
+#define SENTINELFLASH_BENCH_BENCH_SUPPORT_HH
+
+#include <iostream>
+#include <string>
+
+#include "core/characterization.hh"
+#include "core/evaluator.hh"
+#include "nandsim/chip.hh"
+#include "nandsim/oracle.hh"
+#include "util/table.hh"
+
+namespace flash::bench
+{
+
+/** Seed shared by all harnesses (chips of the same batch). */
+constexpr std::uint64_t kChipSeed = 0x5eed2020;
+
+/** One-year retention, the paper's standard bake. */
+constexpr double kOneYearHours = 8760.0;
+
+/** Evaluation block (block 0 is the characterization block). */
+constexpr int kEvalBlock = 1;
+
+/** Paper-scale TLC chip. */
+inline nand::Chip
+makeTlcChip(int blocks = 2)
+{
+    auto geom = nand::paperTlcGeometry();
+    geom.blocks = blocks;
+    return nand::Chip(geom, nand::tlcVoltageParams(), kChipSeed);
+}
+
+/** Paper-scale QLC chip. */
+inline nand::Chip
+makeQlcChip(int blocks = 2)
+{
+    auto geom = nand::paperQlcGeometry();
+    geom.blocks = blocks;
+    return nand::Chip(geom, nand::qlcVoltageParams(), kChipSeed);
+}
+
+/** Factory characterization with a bench-friendly sample budget. */
+inline core::Characterization
+characterize(nand::Chip &chip, int wl_stride)
+{
+    core::CharOptions opt;
+    opt.wordlineStride = wl_stride;
+    const core::FactoryCharacterizer characterizer(opt);
+    return characterizer.run(chip);
+}
+
+/** Age a block to (pe, one year at room temperature). */
+inline void
+ageBlock(nand::Chip &chip, int block, std::uint32_t pe,
+         double hours = kOneYearHours, double temp_c = 25.0)
+{
+    chip.setPeCycles(block, pe);
+    chip.refresh(block);
+    chip.age(block, hours, temp_c);
+}
+
+/** Print the harness header. */
+inline void
+header(const std::string &figure, const std::string &what,
+       const std::string &paper_result)
+{
+    std::cout << "================================================\n"
+              << figure << ": " << what << '\n'
+              << "paper reports: " << paper_result << '\n'
+              << "================================================\n";
+}
+
+/** Print the shape-comparison footer. */
+inline void
+footer(const std::string &shape_note)
+{
+    std::cout << "\nshape check: " << shape_note << '\n';
+}
+
+} // namespace flash::bench
+
+#endif // SENTINELFLASH_BENCH_BENCH_SUPPORT_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table I: mean and standard deviation of the absolute difference
+ * between the predicted and the real optimal sentinel-voltage offset,
+ * as the sentinel ratio sweeps 0.02% .. 0.6%, for TLC and QLC.
+ */
+
+#include "bench_support.hh"
+#include "core/error_difference.hh"
+#include "core/inference.hh"
+#include "nandsim/snapshot.hh"
+#include "util/stats.hh"
+
+using namespace flash;
+
+namespace
+{
+
+void
+runChip(nand::Chip &chip, const char *name, std::uint32_t pe,
+        int char_stride)
+{
+    // Factory tables are fitted once at the production ratio (0.2%).
+    const auto tables = bench::characterize(chip, char_stride);
+    const auto defaults = chip.model().defaultVoltages();
+    const int k_s = tables.sentinelBoundary;
+    const int v_s = defaults[static_cast<std::size_t>(k_s)];
+    const core::InferenceEngine engine(tables, defaults);
+    const nand::OracleSearch oracle;
+
+    util::TextTable table;
+    table.header({"ratio", "sentinels", "mean |pred-real|", "stddev"});
+
+    std::uint64_t seq = 0x40000;
+    for (double ratio : {0.0002, 0.001, 0.002, 0.004, 0.006}) {
+        core::SentinelConfig cfg;
+        cfg.ratio = ratio;
+        const auto overlay = core::makeOverlay(chip.geometry(), cfg);
+        chip.programBlock(bench::kEvalBlock,
+                          bench::kChipSeed ^ static_cast<std::uint64_t>(
+                              ratio * 1e6),
+                          overlay);
+        bench::ageBlock(chip, bench::kEvalBlock, pe);
+
+        util::RunningStats err;
+        for (int wl = 0; wl < chip.geometry().wordlinesPerBlock();
+             wl += 8) {
+            const auto sent = core::sentinelSnapshot(
+                chip, bench::kEvalBlock, wl, overlay, seq++);
+            const double d =
+                core::countSentinelErrors(sent, k_s, v_s).dRate();
+            const int predicted = engine.infer(d).sentinelOffset;
+
+            const auto data = nand::WordlineSnapshot::dataRegion(
+                chip, bench::kEvalBlock, wl, seq++);
+            const int real = oracle.optimalBoundary(data, k_s, v_s).offset;
+            err.add(std::abs(predicted - real));
+        }
+        table.row({util::fmtPct(ratio, 2), util::fmtInt(overlay.count),
+                   util::fmt(err.mean(), 2), util::fmt(err.stddev(), 2)});
+    }
+
+    util::banner(std::cout, name);
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table I",
+                  "|predicted - real| optimal sentinel offset vs "
+                  "sentinel ratio",
+                  "TLC: 2.35 -> 1.44 and QLC: 3.15 -> 1.27 (mean DAC) as "
+                  "the ratio grows 0.02% -> 0.6%");
+
+    auto tlc = bench::makeTlcChip();
+    runChip(tlc, "TLC (P/E 5000 + 1 y)", 5000, 16);
+    auto qlc = bench::makeQlcChip();
+    runChip(qlc, "QLC (P/E 3000 + 1 y)", 3000, 48);
+
+    bench::footer("prediction error falls monotonically as more sentinel "
+                  "cells are reserved (shot noise ~ 1/sqrt(n)), with "
+                  "diminishing returns past 0.2% - the paper's trade-off");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * factory_calibration: the manufacturing-time flow of paper III-D.
+ *
+ * Characterizes a chip of the batch over two temperature bands,
+ * prints the tables that would be programmed into every chip (the
+ * d -> Vopt polynomial samples and the per-voltage correlation
+ * lines), and validates the tables against a second chip of the
+ * same batch.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/characterization.hh"
+#include "core/error_difference.hh"
+#include "core/inference.hh"
+#include "core/tables_io.hh"
+#include "nandsim/oracle.hh"
+#include "util/stats.hh"
+
+using namespace flash;
+
+int
+main()
+{
+    auto geometry = nand::paperQlcGeometry();
+    geometry.blocks = 2;
+
+    // Chip #0 of the batch goes to the lab.
+    nand::Chip lab_chip(geometry, nand::qlcVoltageParams(), 1000);
+
+    core::CharOptions options;
+    options.wordlineStride = 48;
+    const core::FactoryCharacterizer characterizer(options);
+
+    std::printf("characterizing chip #0 over 2 temperature bands...\n");
+    const auto bands = characterizer.runBands(lab_chip, {25.0, 80.0});
+
+    for (const auto &tables : bands) {
+        std::printf("\n=== band %.0f C: %zu samples, d-fit RMSE %.2f DAC "
+                    "===\n",
+                    tables.tempBandC, tables.samples, tables.dFitRmse);
+        std::printf("d -> Vopt polynomial (degree %zu):\n",
+                    tables.dToVopt.degree());
+        for (double d : {-0.08, -0.04, 0.0, 0.02})
+            std::printf("  f(%+.2f) = %+.1f DAC\n", d, tables.dToVopt(d));
+        std::printf("cross-voltage correlations (offset_k = a * "
+                    "offset_V8 + b):\n");
+        for (int k = 1; k <= 15; ++k) {
+            const auto &f = tables.crossVoltage[static_cast<std::size_t>(k)];
+            std::printf("  V%-2d  a=%+.3f  b=%+.2f  r2=%.3f\n", k, f.slope,
+                        f.intercept, f.r2);
+        }
+    }
+
+    // Persist the tables the way the factory would program them into
+    // the chips, and reload them for the field chip.
+    const std::string path = "/tmp/sentinelflash_factory_tables.txt";
+    core::saveTablesFile(path, bands);
+    const auto loaded = core::loadTablesFile(path);
+    std::printf("\ntables persisted to %s and reloaded (%zu bands)\n",
+                path.c_str(), loaded.size());
+
+    // Validate on chip #1 of the same batch (same process, different
+    // random cells): the tables must transfer.
+    std::printf("validating the 25 C tables on chip #1 of the batch...\n");
+    nand::Chip field_chip(geometry, nand::qlcVoltageParams(), 1001);
+    const auto overlay =
+        core::makeOverlay(geometry, options.sentinel);
+    field_chip.programBlock(1, 42, overlay);
+    field_chip.setPeCycles(1, 3000);
+    field_chip.age(1, 8760.0, 25.0);
+
+    const auto &tables = core::selectBand(
+        loaded, field_chip.blockAge(1).retentionTempC);
+    const auto defaults = field_chip.model().defaultVoltages();
+    const core::InferenceEngine engine(tables, defaults);
+    const nand::OracleSearch oracle;
+    const int k_s = tables.sentinelBoundary;
+    const int v_s = defaults[static_cast<std::size_t>(k_s)];
+
+    util::RunningStats err;
+    std::uint64_t seq = 1;
+    for (int wl = 0; wl < geometry.wordlinesPerBlock(); wl += 16) {
+        const auto sent = core::sentinelSnapshot(field_chip, 1, wl,
+                                                 overlay, seq++);
+        const double d = core::countSentinelErrors(sent, k_s, v_s).dRate();
+        const int predicted = engine.infer(d).sentinelOffset;
+        const auto data =
+            nand::WordlineSnapshot::dataRegion(field_chip, 1, wl, seq++);
+        const int real = oracle.optimalBoundary(data, k_s, v_s).offset;
+        err.add(std::abs(predicted - real));
+    }
+    std::printf("cross-chip prediction error |pred - real| on V%d: mean "
+                "%.2f DAC, max %.0f (over %zu wordlines)\n",
+                k_s, err.mean(), err.max(), err.count());
+    std::printf("the correlation learned on one chip of the batch "
+                "transfers to its siblings, as the paper requires.\n");
+    return 0;
+}

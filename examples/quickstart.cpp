@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: the whole sentinel pipeline in ~80 lines.
+ *
+ * 1. Build a simulated QLC chip.
+ * 2. Run the factory characterization (fits the d -> Vopt polynomial
+ *    and the cross-voltage correlations).
+ * 3. Program a block with sentinel cells, age it hard.
+ * 4. Read an MSB page with the vendor retry table and with the
+ *    sentinel policy; compare retries and latency.
+ */
+
+#include <cstdio>
+
+#include "core/characterization.hh"
+#include "core/read_policy.hh"
+#include "core/sentinel_layout.hh"
+#include "ecc/ecc_model.hh"
+#include "nandsim/chip.hh"
+
+using namespace flash;
+
+int
+main()
+{
+    // A 64-layer QLC chip with 18592-byte pages (the paper's part).
+    auto geometry = nand::paperQlcGeometry();
+    geometry.blocks = 2;
+    nand::Chip chip(geometry, nand::qlcVoltageParams(), /*seed=*/2020);
+    std::printf("chip: %s\n", geometry.describe().c_str());
+
+    // Factory characterization: one block is swept over P/E and
+    // retention conditions; the resulting tables get programmed into
+    // every chip of the batch.
+    core::CharOptions char_options;
+    char_options.wordlineStride = 48; // sample budget
+    const core::FactoryCharacterizer characterizer(char_options);
+    const auto tables = characterizer.run(chip);
+    std::printf("factory tables: %zu samples, d-fit RMSE %.2f DAC, "
+                "sentinel voltage V%d\n",
+                tables.samples, tables.dFitRmse, tables.sentinelBoundary);
+
+    // Program block 1 with 0.2% sentinel cells in the OOB tail, then
+    // age it: 3000 P/E cycles and a year on the shelf.
+    const auto overlay =
+        core::makeOverlay(geometry, core::SentinelConfig{});
+    chip.programBlock(1, /*data_seed=*/7, overlay);
+    chip.setPeCycles(1, 3000);
+    chip.age(1, 8760.0 /*hours*/, 25.0 /*deg C*/);
+    std::printf("sentinels: %d cells per wordline (%.2f%%)\n",
+                overlay.count, 100.0 * overlay.count / geometry.bitlines());
+
+    // An LDPC-class ECC able to correct ~1.2% raw BER per 2 KiB frame.
+    const ecc::EccModel ecc_model(ecc::EccConfig{16384, 190});
+    const core::LatencyParams latency;
+
+    core::VendorRetryPolicy vendor(chip.model());
+    core::SentinelPolicy sentinel(tables, chip.model().defaultVoltages());
+
+    const int wl = 123;
+    const int msb = chip.grayCode().msbPage();
+    for (core::ReadPolicy *policy :
+         {static_cast<core::ReadPolicy *>(&vendor),
+          static_cast<core::ReadPolicy *>(&sentinel)}) {
+        core::ReadContext ctx(chip, 1, wl, msb, ecc_model, overlay);
+        const auto session = policy->read(ctx);
+        std::printf("%-13s read of WL %d: %s after %d retries "
+                    "(%d sense ops, %d assist reads) -> %.0f us\n",
+                    policy->name().c_str(), wl,
+                    session.success ? "success" : "FAILURE",
+                    session.retries(), session.senseOps,
+                    session.assistReads,
+                    core::sessionLatencyUs(session, latency));
+    }
+    return 0;
+}

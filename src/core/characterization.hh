@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Factory characterization (paper III-B and III-D).
+ *
+ * At manufacturing time, one or a few chips of a batch are swept over
+ * P/E-cycle and retention conditions to fit (a) the degree-5
+ * polynomial mapping the sentinel error-difference rate d to the
+ * optimal sentinel-voltage offset, and (b) the per-boundary linear
+ * correlation between the optimal sentinel offset and every other
+ * boundary's optimal offset. The fits are then programmed into all
+ * chips of the batch; one correlation table is kept per temperature
+ * band because temperature tilts the retention-sensitivity profile.
+ */
+
+#ifndef SENTINELFLASH_CORE_CHARACTERIZATION_HH
+#define SENTINELFLASH_CORE_CHARACTERIZATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sentinel_layout.hh"
+#include "nandsim/chip.hh"
+#include "util/linear_fit.hh"
+#include "util/polyfit.hh"
+
+namespace flash::core
+{
+
+/** One aging condition of the characterization sweep. */
+struct CharCondition
+{
+    std::uint32_t peCycles = 0;
+    double effRetentionHours = 0.0; ///< room-equivalent hours
+};
+
+/** Characterization sweep options. */
+struct CharOptions
+{
+    SentinelConfig sentinel;
+
+    /** Aging grid; empty selects a representative default grid. */
+    std::vector<CharCondition> conditions;
+
+    /** Sample every Nth wordline of the block. */
+    int wordlineStride = 8;
+
+    /** Degree of the d -> Vopt polynomial (paper uses 5). */
+    int polyDegree = 5;
+
+    /** Block used for the sweep. */
+    int block = 0;
+};
+
+/** The tables programmed into every chip of the batch. */
+struct Characterization
+{
+    int sentinelBoundary = 0;
+
+    /** d rate -> optimal sentinel-voltage offset. */
+    util::Polynomial dToVopt;
+
+    /**
+     * Per-boundary linear maps from the optimal sentinel offset to
+     * the boundary's optimal offset (1-based; entry at the sentinel
+     * boundary is the identity).
+     */
+    std::vector<util::LinearFit> crossVoltage;
+
+    /** RMSE of the polynomial fit (DAC units). */
+    double dFitRmse = 0.0;
+
+    /** Temperature band this table was characterized for (deg C). */
+    double tempBandC = 25.0;
+
+    /** Samples used. */
+    std::size_t samples = 0;
+
+    /** Raw fit samples, kept for the Fig 8 / Fig 10 harnesses. */
+    std::vector<double> dSamples;
+    std::vector<double> voptSamples;
+};
+
+/**
+ * Runs the factory sweep on a chip. The sweep mutates the target
+ * block's age and content (it is a factory process); the block age is
+ * restored afterwards, the sentinel overlay stays programmed.
+ */
+class FactoryCharacterizer
+{
+  public:
+    explicit FactoryCharacterizer(CharOptions options);
+
+    /** Characterize one temperature band. */
+    Characterization run(nand::Chip &chip, double temp_band_c = 25.0) const;
+
+    /** Characterize several bands (paper III-D keeps one table each). */
+    std::vector<Characterization>
+    runBands(nand::Chip &chip, const std::vector<double> &band_temps) const;
+
+    /** Options in use. */
+    const CharOptions &options() const { return options_; }
+
+  private:
+    CharOptions options_;
+};
+
+/**
+ * Pick the characterization table whose temperature band is closest
+ * to the block's retention temperature.
+ */
+const Characterization &
+selectBand(const std::vector<Characterization> &bands, double ret_temp_c);
+
+} // namespace flash::core
+
+#endif // SENTINELFLASH_CORE_CHARACTERIZATION_HH

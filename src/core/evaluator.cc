@@ -1,0 +1,143 @@
+#include "core/evaluator.hh"
+
+#include "core/error_difference.hh"
+#include "nandsim/oracle.hh"
+#include "util/logging.hh"
+
+namespace flash::core
+{
+
+PolicyBlockStats
+evaluateBlock(const nand::Chip &chip, int block, ReadPolicy &policy,
+              const ecc::EccModel &ecc_model,
+              const std::optional<nand::SentinelOverlay> &overlay,
+              const LatencyParams &latency, int page, int wl_stride)
+{
+    util::fatalIf(wl_stride < 1, "evaluateBlock: bad stride");
+    const int target_page =
+        page < 0 ? chip.grayCode().msbPage() : page;
+
+    PolicyBlockStats stats;
+    for (int wl = 0; wl < chip.geometry().wordlinesPerBlock();
+         wl += wl_stride) {
+        ReadContext ctx(chip, block, wl, target_page, ecc_model, overlay);
+        const ReadSessionResult session = policy.read(ctx);
+        ++stats.sessions;
+        if (!session.success)
+            ++stats.failures;
+        stats.retries.add(session.retries());
+        stats.senseOps.add(session.senseOps);
+        stats.latencyUs.add(sessionLatencyUs(session, latency));
+        stats.retriesPerWordline.push_back(session.retries());
+    }
+    return stats;
+}
+
+WordlineAccuracy
+evaluateWordlineAccuracy(const nand::Chip &chip, int block, int wl,
+                         const Characterization &tables,
+                         const nand::SentinelOverlay &overlay,
+                         const AccuracyOptions &options)
+{
+    const auto defaults = chip.model().defaultVoltages();
+    const int states = chip.geometry().states();
+    const nand::OracleSearch oracle;
+
+    WordlineAccuracy out;
+    out.boundaries.resize(static_cast<std::size_t>(states));
+
+    const auto sent = sentinelSnapshot(chip, block, wl, overlay,
+                                       chip.nextReadSeq());
+    const auto data = nand::WordlineSnapshot::dataRegion(
+        chip, block, wl, chip.nextReadSeq());
+
+    const int k_s = tables.sentinelBoundary;
+    const int v_s_def = defaults[static_cast<std::size_t>(k_s)];
+    out.dRate = countSentinelErrors(sent, k_s, v_s_def).dRate();
+
+    InferenceEngine engine(tables, defaults);
+    const InferredVoltages inferred = engine.infer(out.dRate);
+
+    // Oracle ground truth and per-boundary budgets.
+    const auto opts = oracle.optimalOffsets(data, defaults);
+    std::vector<double> budget(static_cast<std::size_t>(states), 0.0);
+    for (int k = 1; k < states; ++k) {
+        const auto &o = opts[static_cast<std::size_t>(k)];
+        budget[static_cast<std::size_t>(k)] =
+            options.rule.budget(o.errors, o.defaultErrors);
+    }
+
+    const auto within_budget = [&](const std::vector<int> &voltages) {
+        for (int k = 1; k < states; ++k) {
+            const auto err = data.boundaryErrors(
+                k, voltages[static_cast<std::size_t>(k)]);
+            if (static_cast<double>(err)
+                > budget[static_cast<std::size_t>(k)]) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    // Calibration: step the sentinel offset while the wordline's
+    // voltages are still off (the offline counterpart of "while the
+    // read keeps failing"), then spend the remaining retry budget
+    // probing +/- delta around the converged estimate, keeping the
+    // first voltage set whose read succeeds (exactly what the online
+    // policy does with ECC feedback).
+    int offset = inferred.sentinelOffset;
+    std::vector<int> calibrated = inferred.voltages;
+    int steps = 0;
+    while (steps < options.maxCalibSteps) {
+        if (within_budget(calibrated))
+            break;
+        const auto obs = observeStateChange(
+            data, sent, k_s, v_s_def, v_s_def + offset,
+            options.calibration.matchTolerance);
+        if (obs.decision == CalibrationCase::Converged)
+            break;
+        offset = calibratedOffset(
+            offset, obs.decision == CalibrationCase::TuneFurther,
+            out.dRate, options.calibration.delta);
+        calibrated = engine.inferAt(offset).voltages;
+        ++steps;
+    }
+    if (!within_budget(calibrated)) {
+        // Probe around the converged center; first success wins.
+        const std::vector<int> center = engine.inferAt(offset).voltages;
+        calibrated = center;
+        for (int probe = 1; steps < options.maxCalibSteps; ++probe) {
+            const int step = (probe + 1) / 2;
+            const int try_offset = offset
+                + (probe % 2 ? 1 : -1) * step * options.calibration.delta;
+            const auto v = engine.inferAt(try_offset).voltages;
+            ++steps;
+            if (within_budget(v)) {
+                calibrated = v;
+                break;
+            }
+        }
+    }
+    out.calibSteps = steps;
+
+    for (int k = 1; k < states; ++k) {
+        auto &b = out.boundaries[static_cast<std::size_t>(k)];
+        const int vd = defaults[static_cast<std::size_t>(k)];
+        b.offOptimal = opts[static_cast<std::size_t>(k)].offset;
+        b.offInferred =
+            inferred.voltages[static_cast<std::size_t>(k)] - vd;
+        b.offCalibrated =
+            calibrated[static_cast<std::size_t>(k)] - vd;
+        b.errDefault = opts[static_cast<std::size_t>(k)].defaultErrors;
+        b.errInferred = data.boundaryErrors(k, vd + b.offInferred);
+        b.errCalibrated = data.boundaryErrors(k, vd + b.offCalibrated);
+        b.errOptimal = opts[static_cast<std::size_t>(k)].errors;
+
+        const double bud = budget[static_cast<std::size_t>(k)];
+        b.inferOk = static_cast<double>(b.errInferred) <= bud;
+        b.calibOk = static_cast<double>(b.errCalibrated) <= bud;
+    }
+    return out;
+}
+
+} // namespace flash::core

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Experiment drivers shared by the benchmark harnesses: run a read
+ * policy across a block, and measure per-boundary voltage accuracy
+ * of inference/calibration against the oracle.
+ */
+
+#ifndef SENTINELFLASH_CORE_EVALUATOR_HH
+#define SENTINELFLASH_CORE_EVALUATOR_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/read_policy.hh"
+#include "util/stats.hh"
+
+namespace flash::core
+{
+
+/** Aggregate results of running one policy over a block. */
+struct PolicyBlockStats
+{
+    util::RunningStats retries;   ///< per session
+    util::RunningStats senseOps;  ///< per session
+    util::RunningStats latencyUs; ///< per session
+    std::vector<int> retriesPerWordline; ///< Fig 13 series
+    int sessions = 0;
+    int failures = 0; ///< sessions ending in read failure
+};
+
+/**
+ * Run @p policy on one page of every sampled wordline of a block.
+ *
+ * @param page Page to read; -1 selects the MSB page (worst case).
+ * @param wl_stride Sample every Nth wordline.
+ */
+PolicyBlockStats evaluateBlock(const nand::Chip &chip, int block,
+                               ReadPolicy &policy,
+                               const ecc::EccModel &ecc_model,
+                               const std::optional<nand::SentinelOverlay>
+                                   &overlay,
+                               const LatencyParams &latency, int page = -1,
+                               int wl_stride = 1);
+
+/**
+ * The paper's success rule: a found voltage succeeds when the RBER it
+ * produces is within 5% of the optimal voltage's RBER, where the 5%
+ * is taken of the wordline's error dynamic range (default minus
+ * optimal) with a small absolute slack for counting noise.
+ */
+struct SuccessRule
+{
+    double relOptimal = 0.05;  ///< slack relative to the optimal errors
+    double relExcess = 0.05;   ///< slack relative to (default - optimal)
+    double absolute = 2.0;     ///< absolute slack in bit errors
+
+    /**
+     * Read-to-read measurement noise slack, in units of
+     * sqrt(optimal errors). The paper notes two reads at the same
+     * voltage give different RBERs, so voltages whose error counts
+     * are statistically indistinguishable from the optimal's count
+     * as successes.
+     */
+    double noiseSigmas = 0.6;
+
+    /** Error budget for one boundary. */
+    double
+    budget(std::uint64_t err_optimal, std::uint64_t err_default) const
+    {
+        const double opt = static_cast<double>(err_optimal);
+        const double def = static_cast<double>(err_default);
+        const double excess = def > opt ? def - opt : 0.0;
+        const double slack = std::max(relOptimal * opt, relExcess * excess)
+            + absolute + noiseSigmas * std::sqrt(opt);
+        return opt + slack;
+    }
+};
+
+/** Per-boundary accuracy record of one wordline. */
+struct BoundaryAccuracy
+{
+    int offOptimal = 0;     ///< oracle offset
+    int offInferred = 0;    ///< offset right after inference
+    int offCalibrated = 0;  ///< offset after calibration
+    std::uint64_t errDefault = 0;
+    std::uint64_t errInferred = 0;
+    std::uint64_t errCalibrated = 0;
+    std::uint64_t errOptimal = 0;
+    bool inferOk = false;   ///< inference success (SuccessRule)
+    bool calibOk = false;   ///< success after calibration
+};
+
+/** Accuracy records of one wordline, indexed 1-based by boundary. */
+struct WordlineAccuracy
+{
+    std::vector<BoundaryAccuracy> boundaries;
+    double dRate = 0.0;
+    int calibSteps = 0; ///< calibration steps actually taken
+};
+
+/** Options of the accuracy evaluation. */
+struct AccuracyOptions
+{
+    SuccessRule rule;
+    CalibrationParams calibration;
+    int maxCalibSteps = 5;
+};
+
+/**
+ * Measure inference/calibration accuracy on one wordline: infer from
+ * the sentinel error difference, then run state-change calibration
+ * steps while any boundary is still outside the success budget (the
+ * offline counterpart of "calibrate while the read keeps failing"),
+ * and grade each boundary against the oracle.
+ */
+WordlineAccuracy evaluateWordlineAccuracy(const nand::Chip &chip, int block,
+                                          int wl,
+                                          const Characterization &tables,
+                                          const nand::SentinelOverlay
+                                              &overlay,
+                                          const AccuracyOptions &options
+                                          = {});
+
+} // namespace flash::core
+
+#endif // SENTINELFLASH_CORE_EVALUATOR_HH

@@ -1,0 +1,64 @@
+#include "core/inference.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace flash::core
+{
+
+namespace
+{
+
+/** Offsets beyond this are model extrapolation artifacts. */
+constexpr int kMaxAbsOffset = 100;
+
+int
+clampOffset(double off)
+{
+    const int i = static_cast<int>(std::lround(off));
+    return std::clamp(i, -kMaxAbsOffset, kMaxAbsOffset);
+}
+
+} // namespace
+
+InferenceEngine::InferenceEngine(const Characterization &tables,
+                                 std::vector<int> defaults)
+    : tables_(&tables), defaults_(std::move(defaults))
+{
+    util::fatalIf(!tables_->dToVopt.valid(),
+                  "InferenceEngine: characterization has no d fit");
+    util::fatalIf(defaults_.size() != tables_->crossVoltage.size(),
+                  "InferenceEngine: defaults/correlation size mismatch");
+}
+
+InferredVoltages
+InferenceEngine::infer(double d_rate) const
+{
+    InferredVoltages out = inferAt(clampOffset(tables_->dToVopt(d_rate)));
+    out.dRate = d_rate;
+    return out;
+}
+
+InferredVoltages
+InferenceEngine::inferAt(int sentinel_offset) const
+{
+    InferredVoltages out;
+    out.sentinelOffset = sentinel_offset;
+    out.voltages = defaults_;
+    const int k_s = tables_->sentinelBoundary;
+    for (std::size_t k = 1; k < defaults_.size(); ++k) {
+        int off;
+        if (static_cast<int>(k) == k_s) {
+            off = sentinel_offset;
+        } else {
+            off = clampOffset(
+                tables_->crossVoltage[k](sentinel_offset));
+        }
+        out.voltages[k] += off;
+    }
+    return out;
+}
+
+} // namespace flash::core

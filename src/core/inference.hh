@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Optimal read-voltage inference from the sentinel error difference
+ * (paper III-B).
+ */
+
+#ifndef SENTINELFLASH_CORE_INFERENCE_HH
+#define SENTINELFLASH_CORE_INFERENCE_HH
+
+#include <vector>
+
+#include "core/characterization.hh"
+
+namespace flash::core
+{
+
+/** Voltages produced by one inference. */
+struct InferredVoltages
+{
+    /** Absolute voltages, indexed by boundary (1-based). */
+    std::vector<int> voltages;
+
+    /** Inferred offset of the sentinel voltage. */
+    int sentinelOffset = 0;
+
+    /** Error-difference rate the inference was based on. */
+    double dRate = 0.0;
+};
+
+/**
+ * Applies the factory tables: d -> sentinel offset (polynomial),
+ * sentinel offset -> all other offsets (linear correlations).
+ */
+class InferenceEngine
+{
+  public:
+    /**
+     * @param tables Factory characterization (of the right band).
+     * @param defaults Default voltages, indexed 1-based.
+     */
+    InferenceEngine(const Characterization &tables,
+                    std::vector<int> defaults);
+
+    /** Infer all voltages from a measured error-difference rate. */
+    InferredVoltages infer(double d_rate) const;
+
+    /**
+     * Recompute all voltages for a given (e.g. calibrated) sentinel
+     * offset.
+     */
+    InferredVoltages inferAt(int sentinel_offset) const;
+
+    /** The sentinel boundary index. */
+    int sentinelBoundary() const { return tables_->sentinelBoundary; }
+
+    /** The default voltages. */
+    const std::vector<int> &defaults() const { return defaults_; }
+
+  private:
+    const Characterization *tables_;
+    std::vector<int> defaults_;
+};
+
+} // namespace flash::core
+
+#endif // SENTINELFLASH_CORE_INFERENCE_HH

@@ -1,0 +1,288 @@
+#include "core/read_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error_difference.hh"
+#include "util/logging.hh"
+
+namespace flash::core
+{
+
+double
+sessionLatencyUs(const ReadSessionResult &session,
+                 const LatencyParams &params)
+{
+    // Every attempt pays the fixed overhead, a transfer and a decode
+    // try; sense cost scales with the voltages applied. Assist reads
+    // are single-voltage senses whose transfer is included in
+    // senseOps accounting (they are LSB reads of the same wordline).
+    const double attempts = session.attempts + session.assistReads;
+    return attempts * (params.baseUs + params.transferUs + params.decodeUs)
+        + session.senseOps * params.senseUs;
+}
+
+ReadContext::ReadContext(const nand::Chip &chip, int block, int wl,
+                         int page, const ecc::EccModel &ecc_model,
+                         std::optional<nand::SentinelOverlay> overlay)
+    : chip_(&chip), block_(block), wl_(wl), page_(page), ecc_(&ecc_model),
+      overlay_(std::move(overlay))
+{
+    util::fatalIf(page < 0 || page >= chip.geometry().pagesPerWordline(),
+                  "ReadContext: page out of range");
+}
+
+const nand::WordlineSnapshot &
+ReadContext::dataSnap()
+{
+    if (!data_) {
+        data_.emplace(nand::WordlineSnapshot::dataRegion(
+            *chip_, block_, wl_, chip_->nextReadSeq()));
+    }
+    return *data_;
+}
+
+const nand::WordlineSnapshot &
+ReadContext::sentSnap()
+{
+    util::fatalIf(!overlay_, "ReadContext: no sentinel overlay");
+    if (!sent_) {
+        sent_.emplace(sentinelSnapshot(*chip_, block_, wl_, *overlay_,
+                                       chip_->nextReadSeq()));
+    }
+    return *sent_;
+}
+
+std::uint64_t
+ReadContext::pageErrors(const std::vector<int> &voltages)
+{
+    return dataSnap().pageErrors(page_, voltages);
+}
+
+bool
+ReadContext::decodable(const std::vector<int> &voltages)
+{
+    return ecc_->pageDecodable(pageErrors(voltages), dataSnap().cells());
+}
+
+int
+ReadContext::pageSenseOps() const
+{
+    return static_cast<int>(
+        chip_->grayCode().boundariesOfPage(page_).size());
+}
+
+namespace
+{
+
+/**
+ * Vendor tables encode the batch's typical shift profile; express it
+ * as the pairwise-average retention sensitivity of each boundary,
+ * normalized at the sentinel (mid) boundary.
+ */
+std::vector<double>
+vendorProfile(const nand::VoltageModel &model)
+{
+    const int states = model.states();
+    std::vector<double> profile(static_cast<std::size_t>(states), 0.0);
+    const auto &sens = model.params().stateSens;
+    const int mid = states / 2;
+    const double norm =
+        0.5 * (sens[static_cast<std::size_t>(mid - 1)]
+               + sens[static_cast<std::size_t>(mid)]);
+    for (int k = 1; k < states; ++k) {
+        profile[static_cast<std::size_t>(k)] =
+            0.5 * (sens[static_cast<std::size_t>(k - 1)]
+                   + sens[static_cast<std::size_t>(k)]) / norm;
+    }
+    return profile;
+}
+
+/** Record one attempt at a voltage set; returns decodability. */
+bool
+attempt(ReadContext &ctx, const std::vector<int> &voltages,
+        ReadSessionResult &session)
+{
+    ++session.attempts;
+    session.senseOps += ctx.pageSenseOps();
+    session.finalVoltages = voltages;
+    session.finalErrors = ctx.pageErrors(voltages);
+    session.success = ctx.decodable(voltages);
+    return session.success;
+}
+
+} // namespace
+
+VendorRetryPolicy::VendorRetryPolicy(const nand::VoltageModel &model,
+                                     int max_retries, double step_dac)
+    : defaults_(model.defaultVoltages()), profile_(vendorProfile(model)),
+      maxRetries_(max_retries), stepDac_(step_dac)
+{
+    util::fatalIf(max_retries < 1, "VendorRetryPolicy: bad retry budget");
+}
+
+std::vector<int>
+VendorRetryPolicy::retryVoltages(int i) const
+{
+    std::vector<int> v(defaults_);
+    for (std::size_t k = 1; k < v.size(); ++k) {
+        v[k] -= static_cast<int>(
+            std::lround(i * stepDac_ * profile_[k]));
+    }
+    return v;
+}
+
+ReadSessionResult
+VendorRetryPolicy::read(ReadContext &ctx)
+{
+    ReadSessionResult session;
+    if (attempt(ctx, defaults_, session))
+        return session;
+    for (int i = 1; i <= maxRetries_; ++i) {
+        if (attempt(ctx, retryVoltages(i), session))
+            return session;
+    }
+    return session;
+}
+
+ReadSessionResult
+OraclePolicy::read(ReadContext &ctx)
+{
+    ReadSessionResult session;
+    if (!firstOptimal_ && attempt(ctx, defaults_, session))
+        return session;
+    const auto optimal = oracle_.optimalVoltages(ctx.dataSnap(), defaults_);
+    attempt(ctx, optimal, session);
+    return session;
+}
+
+TrackingPolicy::TrackingPolicy(const nand::VoltageModel &model,
+                               int reference_wl, int max_retries,
+                               double step_dac)
+    : defaults_(model.defaultVoltages()), profile_(vendorProfile(model)),
+      tracked_(defaults_), referenceWl_(reference_wl),
+      maxRetries_(max_retries), stepDac_(step_dac)
+{}
+
+void
+TrackingPolicy::track(const nand::Chip &chip, int block)
+{
+    const auto snap = nand::WordlineSnapshot::dataRegion(
+        chip, block, referenceWl_, chip.nextReadSeq());
+    tracked_ = oracle_.optimalVoltages(snap, defaults_);
+}
+
+ReadSessionResult
+TrackingPolicy::read(ReadContext &ctx)
+{
+    ReadSessionResult session;
+    if (attempt(ctx, tracked_, session))
+        return session;
+    // Fall back to profile stepping around the tracked point, probing
+    // both directions (the tracked point may over- or undershoot this
+    // wordline's optimum).
+    for (int i = 1; i <= maxRetries_; ++i) {
+        std::vector<int> v(tracked_);
+        const int step = (i + 1) / 2;
+        const int sign = (i % 2) ? -1 : 1;
+        for (std::size_t k = 1; k < v.size(); ++k) {
+            v[k] += sign
+                * static_cast<int>(
+                      std::lround(step * stepDac_ * profile_[k]));
+        }
+        if (attempt(ctx, v, session))
+            return session;
+    }
+    return session;
+}
+
+SentinelPolicy::SentinelPolicy(const Characterization &tables,
+                               std::vector<int> defaults,
+                               CalibrationParams calibration,
+                               int max_retries)
+    : engine_(tables, std::move(defaults)), calibration_(calibration),
+      maxRetries_(max_retries)
+{
+    util::fatalIf(max_retries < 1, "SentinelPolicy: bad retry budget");
+}
+
+void
+SentinelPolicy::setFirstReadVoltages(std::vector<int> voltages)
+{
+    util::fatalIf(!voltages.empty()
+                      && voltages.size() != engine_.defaults().size(),
+                  "SentinelPolicy: first-read voltage size mismatch");
+    firstRead_ = std::move(voltages);
+}
+
+ReadSessionResult
+SentinelPolicy::read(ReadContext &ctx)
+{
+    ReadSessionResult session;
+    const std::vector<int> &first =
+        firstRead_.empty() ? engine_.defaults() : firstRead_;
+    if (attempt(ctx, first, session))
+        return session;
+
+    util::fatalIf(!ctx.overlay(),
+                  "SentinelPolicy: wordline has no sentinel overlay");
+    const int k_s = engine_.sentinelBoundary();
+    const int v_s_default =
+        engine_.defaults()[static_cast<std::size_t>(k_s)];
+
+    // The sentinel voltage is sensed by the LSB page; any other page
+    // needs one cheap single-voltage assist read to see the sentinel
+    // errors.
+    const auto &page_ks =
+        ctx.chip().grayCode().boundariesOfPage(ctx.page());
+    // The failed read only supplies the sentinel errors if it sensed
+    // the sentinel boundary at its default voltage.
+    const bool sensed_already =
+        std::find(page_ks.begin(), page_ks.end(), k_s) != page_ks.end()
+        && first[static_cast<std::size_t>(k_s)] == v_s_default;
+    if (!sensed_already) {
+        ++session.assistReads;
+        ++session.senseOps;
+    }
+
+    const double d =
+        countSentinelErrors(ctx.sentSnap(), k_s, v_s_default).dRate();
+    InferredVoltages inferred = engine_.infer(d);
+    if (attempt(ctx, inferred.voltages, session))
+        return session;
+
+    // Calibration loop: state-change comparison decides the step
+    // direction; each step re-derives the other voltages. Once the
+    // counts match (converged), the sentinel estimate stands and the
+    // remaining budget probes +/- delta around it.
+    int offset = inferred.sentinelOffset;
+    int probe = 0;
+    bool converged = false;
+    while (session.attempts <= maxRetries_) {
+        if (!converged) {
+            const int v_s_cur = v_s_default + offset;
+            const auto obs = observeStateChange(
+                ctx.dataSnap(), ctx.sentSnap(), k_s, v_s_default, v_s_cur,
+                calibration_.matchTolerance);
+            if (obs.decision == CalibrationCase::Converged) {
+                converged = true;
+            } else {
+                offset = calibratedOffset(
+                    offset,
+                    obs.decision == CalibrationCase::TuneFurther, d,
+                    calibration_.delta);
+            }
+        }
+        int try_offset = offset;
+        if (converged) {
+            ++probe;
+            const int step = (probe + 1) / 2;
+            try_offset += (probe % 2 ? 1 : -1) * step * calibration_.delta;
+        }
+        if (attempt(ctx, engine_.inferAt(try_offset).voltages, session))
+            return session;
+    }
+    return session;
+}
+
+} // namespace flash::core

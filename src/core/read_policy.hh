@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Read-retry policies: the proposed sentinel scheme and the baselines
+ * it is evaluated against.
+ *
+ * A policy drives one page-read session: initial read at some voltage
+ * set, then retries with re-tuned voltages until the page decodes or
+ * the retry budget is exhausted. Policies are compared on retry
+ * counts, total sense operations and derived latency.
+ */
+
+#ifndef SENTINELFLASH_CORE_READ_POLICY_HH
+#define SENTINELFLASH_CORE_READ_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hh"
+#include "core/characterization.hh"
+#include "core/inference.hh"
+#include "ecc/ecc_model.hh"
+#include "nandsim/chip.hh"
+#include "nandsim/oracle.hh"
+#include "nandsim/snapshot.hh"
+
+namespace flash::core
+{
+
+/** Outcome and cost of one page-read session. */
+struct ReadSessionResult
+{
+    bool success = false;
+
+    /** Page-read attempts, including the first read. */
+    int attempts = 0;
+
+    /** Extra single-voltage sentinel-assist reads. */
+    int assistReads = 0;
+
+    /** Total read-voltage applications (sensing cost). */
+    int senseOps = 0;
+
+    /** Voltages of the last attempt (1-based by boundary). */
+    std::vector<int> finalVoltages;
+
+    /** Data-region bit errors of the last attempt. */
+    std::uint64_t finalErrors = 0;
+
+    /** Read retries = attempts after the first. */
+    int retries() const { return attempts > 0 ? attempts - 1 : 0; }
+};
+
+/** Timing parameters of the latency model. */
+struct LatencyParams
+{
+    double senseUs = 12.0;    ///< per read-voltage application
+    double baseUs = 13.0;     ///< fixed per page-read attempt
+    double transferUs = 20.0; ///< page transfer to the controller
+    double decodeUs = 10.0;   ///< ECC decode attempt
+};
+
+/** Latency of a whole read session under the timing model. */
+double sessionLatencyUs(const ReadSessionResult &session,
+                        const LatencyParams &params);
+
+/**
+ * Shared state of one read session: lazily-built snapshots and the
+ * decodability oracle against the ECC model. One data snapshot is
+ * reused across the session's attempts (retries only re-tune
+ * voltages; fresh sensing noise across retries is a second-order
+ * effect the paper also neglects).
+ */
+class ReadContext
+{
+  public:
+    ReadContext(const nand::Chip &chip, int block, int wl, int page,
+                const ecc::EccModel &ecc_model,
+                std::optional<nand::SentinelOverlay> overlay);
+
+    /** Lazily-built data-region snapshot. */
+    const nand::WordlineSnapshot &dataSnap();
+
+    /** Lazily-built sentinel snapshot (requires an overlay). */
+    const nand::WordlineSnapshot &sentSnap();
+
+    /** Data-region bit errors of the page at a voltage set. */
+    std::uint64_t pageErrors(const std::vector<int> &voltages);
+
+    /** Whether the page decodes at a voltage set. */
+    bool decodable(const std::vector<int> &voltages);
+
+    /** Sense operations of one attempt of this page. */
+    int pageSenseOps() const;
+
+    const nand::Chip &chip() const { return *chip_; }
+    int block() const { return block_; }
+    int wordline() const { return wl_; }
+    int page() const { return page_; }
+    const ecc::EccModel &eccModel() const { return *ecc_; }
+    const std::optional<nand::SentinelOverlay> &overlay() const
+    {
+        return overlay_;
+    }
+
+  private:
+    const nand::Chip *chip_;
+    int block_, wl_, page_;
+    const ecc::EccModel *ecc_;
+    std::optional<nand::SentinelOverlay> overlay_;
+    std::optional<nand::WordlineSnapshot> data_;
+    std::optional<nand::WordlineSnapshot> sent_;
+};
+
+/** Interface of a read-retry policy. */
+class ReadPolicy
+{
+  public:
+    virtual ~ReadPolicy() = default;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Run one page-read session. */
+    virtual ReadSessionResult read(ReadContext &ctx) = 0;
+};
+
+/**
+ * The default mechanism of current flash chips: a vendor retry table
+ * that walks all read voltages down a profile-shaped staircase.
+ */
+class VendorRetryPolicy : public ReadPolicy
+{
+  public:
+    /**
+     * @param model Voltage model (supplies defaults and the typical
+     *        shift profile vendors encode into their tables).
+     * @param max_retries Retry budget.
+     * @param step_dac Per-retry step at the mid boundary.
+     */
+    VendorRetryPolicy(const nand::VoltageModel &model, int max_retries = 12,
+                      double step_dac = 3.5);
+
+    std::string name() const override { return "current-flash"; }
+    ReadSessionResult read(ReadContext &ctx) override;
+
+    /** Voltage set of retry @p i (1-based). */
+    std::vector<int> retryVoltages(int i) const;
+
+    /** Retry budget. */
+    int maxRetries() const { return maxRetries_; }
+
+  private:
+    std::vector<int> defaults_;
+    std::vector<double> profile_; ///< per-boundary step scale
+    int maxRetries_;
+    double stepDac_;
+};
+
+/**
+ * Oracle baseline ("OPT"): first read at the defaults, then one jump
+ * straight to the exhaustive-search optimum. Unimplementable on real
+ * hardware; upper-bounds every policy.
+ */
+class OraclePolicy : public ReadPolicy
+{
+  public:
+    explicit OraclePolicy(std::vector<int> defaults,
+                          bool first_read_optimal = false)
+        : defaults_(std::move(defaults)), firstOptimal_(first_read_optimal)
+    {}
+
+    std::string name() const override { return "oracle"; }
+    ReadSessionResult read(ReadContext &ctx) override;
+
+  private:
+    std::vector<int> defaults_;
+    bool firstOptimal_;
+    nand::OracleSearch oracle_;
+};
+
+/**
+ * Tracking baseline (Cai et al. HPCA'15 / Shim et al. MICRO'19
+ * style): the FTL periodically records the optimal voltages of one
+ * reference wordline per block and applies them to every read in the
+ * block; on failure it falls back to vendor stepping around the
+ * tracked point.
+ */
+class TrackingPolicy : public ReadPolicy
+{
+  public:
+    /**
+     * @param vendor Fallback stepping policy parameters.
+     * @param reference_wl Reference wordline whose optimum is tracked.
+     */
+    TrackingPolicy(const nand::VoltageModel &model, int reference_wl = 0,
+                   int max_retries = 12, double step_dac = 3.5);
+
+    std::string name() const override { return "tracking"; }
+
+    /**
+     * Update the tracked voltages from the reference wordline's
+     * current state (the FTL's periodic refresh).
+     */
+    void track(const nand::Chip &chip, int block);
+
+    /** Tracked voltage set (after track()). */
+    const std::vector<int> &trackedVoltages() const { return tracked_; }
+
+    ReadSessionResult read(ReadContext &ctx) override;
+
+  private:
+    std::vector<int> defaults_;
+    std::vector<double> profile_;
+    std::vector<int> tracked_;
+    int referenceWl_;
+    int maxRetries_;
+    double stepDac_;
+    nand::OracleSearch oracle_;
+};
+
+/**
+ * The paper's sentinel policy: on a failed default read, measure the
+ * sentinel error difference (via a cheap single-voltage assist read
+ * when the failed page did not sense the sentinel voltage), infer all
+ * voltages from the factory tables, and calibrate with state-change
+ * comparisons if the inferred read still fails.
+ */
+class SentinelPolicy : public ReadPolicy
+{
+  public:
+    /**
+     * @param tables Factory characterization of the matching band.
+     * @param defaults Default voltages.
+     * @param calibration Calibration step parameters.
+     * @param max_retries Retry budget (including the inferred read).
+     */
+    SentinelPolicy(const Characterization &tables,
+                   std::vector<int> defaults,
+                   CalibrationParams calibration = {}, int max_retries = 10);
+
+    std::string name() const override { return "sentinel"; }
+    ReadSessionResult read(ReadContext &ctx) override;
+
+    /** Inference engine (exposed for the experiment harnesses). */
+    const InferenceEngine &engine() const { return engine_; }
+
+    /**
+     * Override the voltages of the first read attempt (e.g. with
+     * FTL-tracked voltages, the combined scheme the paper suggests in
+     * Related Work). The sentinel error difference is still measured
+     * against the default sentinel voltage.
+     */
+    void setFirstReadVoltages(std::vector<int> voltages);
+
+  private:
+    InferenceEngine engine_;
+    CalibrationParams calibration_;
+    int maxRetries_;
+    std::vector<int> firstRead_;
+};
+
+} // namespace flash::core
+
+#endif // SENTINELFLASH_CORE_READ_POLICY_HH

@@ -1,0 +1,51 @@
+#include "core/sentinel_layout.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace flash::core
+{
+
+int
+defaultSentinelBoundary(nand::CellType type)
+{
+    // The single-voltage (LSB) boundary: V4 on TLC, V8 on QLC.
+    return nand::stateCount(type) / 2;
+}
+
+int
+resolveSentinelBoundary(const nand::ChipGeometry &geom,
+                        const SentinelConfig &config)
+{
+    const int k = config.sentinelBoundary > 0
+        ? config.sentinelBoundary
+        : defaultSentinelBoundary(geom.cellType);
+    util::fatalIf(k < 1 || k > geom.boundaries(),
+                  "sentinel: boundary out of range");
+    return k;
+}
+
+nand::SentinelOverlay
+makeOverlay(const nand::ChipGeometry &geom, const SentinelConfig &config)
+{
+    util::fatalIf(config.ratio <= 0.0 || config.ratio > 0.5,
+                  "sentinel: ratio out of range");
+    const int k = resolveSentinelBoundary(geom, config);
+
+    int count = static_cast<int>(
+        std::lround(config.ratio * geom.bitlines()));
+    count += count & 1; // even split between the two states
+    util::fatalIf(count < 2, "sentinel: ratio yields fewer than 2 cells");
+    util::fatalIf(count > geom.oobBitlines,
+                  "sentinel: overlay does not fit in the OOB area");
+
+    nand::SentinelOverlay o;
+    o.start = geom.bitlines() - count;
+    o.count = count;
+    o.lowState = static_cast<std::uint8_t>(k - 1);
+    o.highState = static_cast<std::uint8_t>(k);
+    return o;
+}
+
+} // namespace flash::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sentinel cell placement and programming pattern.
+ *
+ * A small fraction (0.2% by default) of every wordline is reserved in
+ * the spare OOB tail and programmed half/half to the two states
+ * around the sentinel voltage (S3/S4 for TLC, S7/S8 for QLC), so a
+ * read at the sentinel voltage reveals exact up/down error counts.
+ */
+
+#ifndef SENTINELFLASH_CORE_SENTINEL_LAYOUT_HH
+#define SENTINELFLASH_CORE_SENTINEL_LAYOUT_HH
+
+#include "nandsim/chip.hh"
+#include "nandsim/geometry.hh"
+
+namespace flash::core
+{
+
+/** Sentinel reservation parameters. */
+struct SentinelConfig
+{
+    /** Fraction of wordline cells reserved as sentinels. */
+    double ratio = 0.002;
+
+    /**
+     * Sentinel read voltage (1-based boundary). <= 0 selects the
+     * paper's default: V4 for TLC, V8 for QLC (the LSB boundary,
+     * so the assist read is a cheap single-voltage LSB read).
+     */
+    int sentinelBoundary = 0;
+};
+
+/** The paper's default sentinel boundary for a cell type. */
+int defaultSentinelBoundary(nand::CellType type);
+
+/** Resolve the configured boundary (applying the default rule). */
+int resolveSentinelBoundary(const nand::ChipGeometry &geom,
+                            const SentinelConfig &config);
+
+/**
+ * Build the sentinel overlay for a geometry: a contiguous run at the
+ * very end of the OOB area (even count), alternating between the two
+ * states adjacent to the sentinel voltage.
+ */
+nand::SentinelOverlay makeOverlay(const nand::ChipGeometry &geom,
+                                  const SentinelConfig &config);
+
+} // namespace flash::core
+
+#endif // SENTINELFLASH_CORE_SENTINEL_LAYOUT_HH

@@ -1,0 +1,156 @@
+#include "core/tables_io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace flash::core
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "sentinelflash-tables";
+constexpr const char *kVersion = "v1";
+
+/** Next non-comment, non-empty line (fatal at EOF). */
+std::string
+nextLine(std::istream &is, const char *what)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto pos = line.find_first_not_of(" \t\r");
+        if (pos == std::string::npos || line[pos] == '#')
+            continue;
+        return line;
+    }
+    util::fatal(std::string("tables: unexpected end of input reading ")
+                + what);
+}
+
+} // namespace
+
+void
+saveTables(std::ostream &os, const std::vector<Characterization> &bands)
+{
+    util::fatalIf(bands.empty(), "tables: nothing to save");
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "bands " << bands.size() << '\n';
+    os << std::setprecision(17);
+    for (const auto &b : bands) {
+        util::fatalIf(!b.dToVopt.valid(),
+                      "tables: band has no polynomial fit");
+        os << "band " << b.tempBandC << ' ' << b.sentinelBoundary << ' '
+           << b.samples << ' ' << b.dFitRmse << '\n';
+        os << "poly " << b.dToVopt.degree() << ' ' << b.dToVopt.xShift()
+           << ' ' << b.dToVopt.xScale();
+        for (double c : b.dToVopt.coeffs())
+            os << ' ' << c;
+        os << '\n';
+        for (std::size_t k = 1; k < b.crossVoltage.size(); ++k) {
+            const auto &f = b.crossVoltage[k];
+            os << "cross " << k << ' ' << f.slope << ' ' << f.intercept
+               << ' ' << f.r2 << ' ' << f.n << '\n';
+        }
+        os << "end\n";
+    }
+    util::fatalIf(!os, "tables: write error");
+}
+
+void
+saveTablesFile(const std::string &path,
+               const std::vector<Characterization> &bands)
+{
+    std::ofstream os(path);
+    util::fatalIf(!os, "tables: cannot open for writing: " + path);
+    saveTables(os, bands);
+}
+
+std::vector<Characterization>
+loadTables(std::istream &is)
+{
+    {
+        std::istringstream header(nextLine(is, "header"));
+        std::string magic, version;
+        header >> magic >> version;
+        util::fatalIf(magic != kMagic, "tables: bad magic");
+        util::fatalIf(version != kVersion,
+                      "tables: unsupported version " + version);
+    }
+
+    std::size_t count = 0;
+    {
+        std::istringstream line(nextLine(is, "band count"));
+        std::string tag;
+        line >> tag >> count;
+        util::fatalIf(tag != "bands" || !line || count == 0,
+                      "tables: bad band count record");
+    }
+
+    std::vector<Characterization> bands;
+    bands.reserve(count);
+    for (std::size_t bi = 0; bi < count; ++bi) {
+        Characterization b;
+        {
+            std::istringstream line(nextLine(is, "band record"));
+            std::string tag;
+            line >> tag >> b.tempBandC >> b.sentinelBoundary >> b.samples
+                >> b.dFitRmse;
+            util::fatalIf(tag != "band" || !line,
+                          "tables: bad band record");
+            util::fatalIf(b.sentinelBoundary < 1,
+                          "tables: bad sentinel boundary");
+        }
+        {
+            std::istringstream line(nextLine(is, "poly record"));
+            std::string tag;
+            std::size_t degree = 0;
+            double shift = 0.0, scale = 1.0;
+            line >> tag >> degree >> shift >> scale;
+            util::fatalIf(tag != "poly" || !line,
+                          "tables: bad poly record");
+            std::vector<double> coeffs(degree + 1, 0.0);
+            for (auto &c : coeffs)
+                line >> c;
+            util::fatalIf(!line, "tables: truncated poly coefficients");
+            b.dToVopt = util::Polynomial(std::move(coeffs), shift, scale);
+        }
+
+        // Cross records until "end". Boundaries may arrive in any
+        // order; size the vector as records come in.
+        for (;;) {
+            const std::string raw = nextLine(is, "cross record");
+            std::istringstream line(raw);
+            std::string tag;
+            line >> tag;
+            if (tag == "end")
+                break;
+            util::fatalIf(tag != "cross", "tables: bad record: " + raw);
+            std::size_t k = 0;
+            util::LinearFit f;
+            line >> k >> f.slope >> f.intercept >> f.r2 >> f.n;
+            util::fatalIf(!line || k < 1 || k > 63,
+                          "tables: bad cross record: " + raw);
+            if (b.crossVoltage.size() <= k)
+                b.crossVoltage.resize(k + 1);
+            b.crossVoltage[k] = f;
+        }
+        util::fatalIf(static_cast<int>(b.crossVoltage.size())
+                          <= b.sentinelBoundary,
+                      "tables: band missing cross-voltage records");
+        bands.push_back(std::move(b));
+    }
+    return bands;
+}
+
+std::vector<Characterization>
+loadTablesFile(const std::string &path)
+{
+    std::ifstream is(path);
+    util::fatalIf(!is, "tables: cannot open for reading: " + path);
+    return loadTables(is);
+}
+
+} // namespace flash::core

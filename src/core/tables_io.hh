@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Serialization of the factory characterization tables.
+ *
+ * The paper programs the fitted relationships into every chip of a
+ * batch (III-D): one d -> Vopt table plus one cross-voltage
+ * correlation table per temperature band. This module persists a
+ * band set to a small line-oriented text format, so a real FTL (or a
+ * later simulation run) can load the tables instead of re-running the
+ * characterization sweep.
+ *
+ * Format (one record per line, '#' comments allowed):
+ *
+ *   sentinelflash-tables v1
+ *   bands <n>
+ *   band <tempC> <sentinelBoundary> <samples> <dFitRmse>
+ *   poly <degree> <xShift> <xScale> <c0> <c1> ...
+ *   cross <k> <slope> <intercept> <r2> <n>     (one per boundary)
+ *   end
+ */
+
+#ifndef SENTINELFLASH_CORE_TABLES_IO_HH
+#define SENTINELFLASH_CORE_TABLES_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/characterization.hh"
+
+namespace flash::core
+{
+
+/** Write a band set to a stream. */
+void saveTables(std::ostream &os,
+                const std::vector<Characterization> &bands);
+
+/** Write a band set to a file (fatal on I/O errors). */
+void saveTablesFile(const std::string &path,
+                    const std::vector<Characterization> &bands);
+
+/**
+ * Read a band set from a stream. Raw fit samples are not persisted
+ * (they are characterization-time debugging data), so `dSamples` /
+ * `voptSamples` come back empty.
+ */
+std::vector<Characterization> loadTables(std::istream &is);
+
+/** Read a band set from a file (fatal on I/O or parse errors). */
+std::vector<Characterization> loadTablesFile(const std::string &path);
+
+} // namespace flash::core
+
+#endif // SENTINELFLASH_CORE_TABLES_IO_HH

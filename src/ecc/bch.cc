@@ -1,0 +1,199 @@
+#include "ecc/bch.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace flash::ecc
+{
+
+BchCodec::BchCodec(int m, int t, int data_bits)
+    : gf_(m), t_(t), dataBits_(data_bits)
+{
+    util::fatalIf(t < 1, "BchCodec: t must be >= 1");
+    util::fatalIf(data_bits < 1, "BchCodec: dataBits must be >= 1");
+
+    const int n = gf_.order();
+
+    // Collect the cyclotomic cosets of alpha^1 .. alpha^2t.
+    std::set<int> covered;
+    gen_ = {1}; // polynomial "1"
+    for (int i = 1; i <= 2 * t_; ++i) {
+        if (covered.count(i))
+            continue;
+        // Coset of i under doubling mod n.
+        std::vector<int> coset;
+        int j = i;
+        do {
+            coset.push_back(j);
+            covered.insert(j);
+            j = (2 * j) % n;
+        } while (j != i);
+
+        // Minimal polynomial: prod over the coset of (x + alpha^j),
+        // computed in GF(2^m); the result has GF(2) coefficients.
+        std::vector<int> mp = {1};
+        for (int e : coset) {
+            const int a = gf_.exp(e);
+            std::vector<int> next(mp.size() + 1, 0);
+            for (std::size_t d = 0; d < mp.size(); ++d) {
+                next[d + 1] ^= mp[d];              // x * mp
+                next[d] ^= gf_.mul(mp[d], a);      // alpha^e * mp
+            }
+            mp = std::move(next);
+        }
+
+        // Multiply the GF(2) generator by the minimal polynomial.
+        std::vector<std::uint8_t> ng(gen_.size() + mp.size() - 1, 0);
+        for (std::size_t a = 0; a < gen_.size(); ++a) {
+            if (!gen_[a])
+                continue;
+            for (std::size_t b = 0; b < mp.size(); ++b) {
+                util::panicIf(mp[b] > 1,
+                              "BchCodec: minimal polynomial not over GF(2)");
+                ng[a + b] ^= gen_[a] & static_cast<std::uint8_t>(mp[b]);
+            }
+        }
+        gen_ = std::move(ng);
+    }
+
+    util::fatalIf(dataBits_ + parityBits() > n,
+                  "BchCodec: frame does not fit in 2^m - 1 bits");
+}
+
+std::vector<std::uint8_t>
+BchCodec::encode(const std::vector<std::uint8_t> &data) const
+{
+    util::fatalIf(static_cast<int>(data.size()) != dataBits_,
+                  "BchCodec: data size mismatch");
+
+    const int r = parityBits();
+    // LFSR division of data(x) * x^r by g(x). gen_[0] is the x^0
+    // coefficient ... gen_[r] is the (monic) x^r coefficient.
+    std::vector<std::uint8_t> reg(static_cast<std::size_t>(r), 0);
+    for (int i = 0; i < dataBits_; ++i) {
+        const std::uint8_t fb = data[static_cast<std::size_t>(i)]
+            ^ reg[static_cast<std::size_t>(r - 1)];
+        for (int j = r - 1; j > 0; --j) {
+            reg[static_cast<std::size_t>(j)] =
+                reg[static_cast<std::size_t>(j - 1)]
+                ^ (fb & gen_[static_cast<std::size_t>(j)]);
+        }
+        reg[0] = fb & gen_[0];
+    }
+
+    std::vector<std::uint8_t> frame(data);
+    frame.resize(static_cast<std::size_t>(frameBits()));
+    // Parity bits follow the data, highest-order first.
+    for (int j = 0; j < r; ++j) {
+        frame[static_cast<std::size_t>(dataBits_ + j)] =
+            reg[static_cast<std::size_t>(r - 1 - j)];
+    }
+    return frame;
+}
+
+std::vector<int>
+BchCodec::computeSyndromes(const std::vector<std::uint8_t> &frame) const
+{
+    const int nn = frameBits();
+    std::vector<int> synd(static_cast<std::size_t>(2 * t_), 0);
+    for (int i = 0; i < nn; ++i) {
+        if (!frame[static_cast<std::size_t>(i)])
+            continue;
+        const int e = nn - 1 - i; // exponent of this bit position
+        for (int j = 1; j <= 2 * t_; ++j) {
+            synd[static_cast<std::size_t>(j - 1)] ^=
+                gf_.exp(static_cast<long long>(j) * e % gf_.order());
+        }
+    }
+    return synd;
+}
+
+BchDecodeResult
+BchCodec::decode(std::vector<std::uint8_t> &frame) const
+{
+    util::fatalIf(static_cast<int>(frame.size()) != frameBits(),
+                  "BchCodec: frame size mismatch");
+
+    BchDecodeResult res;
+    const std::vector<int> synd = computeSyndromes(frame);
+    if (std::all_of(synd.begin(), synd.end(),
+                    [](int s) { return s == 0; })) {
+        res.success = true;
+        return res;
+    }
+
+    // Berlekamp-Massey over GF(2^m).
+    std::vector<int> sigma = {1};
+    std::vector<int> prev = {1};
+    int l = 0;          // current LFSR length
+    int shift = 1;      // steps since prev was saved
+    int prev_disc = 1;  // discrepancy when prev was saved
+
+    for (int step = 0; step < 2 * t_; ++step) {
+        int disc = synd[static_cast<std::size_t>(step)];
+        for (int i = 1; i <= l && i < static_cast<int>(sigma.size()); ++i) {
+            disc ^= gf_.mul(sigma[static_cast<std::size_t>(i)],
+                            synd[static_cast<std::size_t>(step - i)]);
+        }
+        if (disc == 0) {
+            ++shift;
+            continue;
+        }
+        // sigma' = sigma - (disc / prev_disc) * x^shift * prev
+        std::vector<int> next(sigma);
+        const int scale = gf_.div(disc, prev_disc);
+        if (next.size() < prev.size() + static_cast<std::size_t>(shift))
+            next.resize(prev.size() + static_cast<std::size_t>(shift), 0);
+        for (std::size_t i = 0; i < prev.size(); ++i) {
+            next[i + static_cast<std::size_t>(shift)] ^=
+                gf_.mul(scale, prev[i]);
+        }
+        if (2 * l <= step) {
+            prev = sigma;
+            prev_disc = disc;
+            l = step + 1 - l;
+            shift = 1;
+        } else {
+            ++shift;
+        }
+        sigma = std::move(next);
+    }
+
+    while (!sigma.empty() && sigma.back() == 0)
+        sigma.pop_back();
+    const int deg = static_cast<int>(sigma.size()) - 1;
+    if (deg < 1 || deg > t_)
+        return res; // uncorrectable
+
+    // Chien search over the frame's bit positions.
+    const int nn = frameBits();
+    std::vector<int> error_pos;
+    for (int i = 0; i < nn && static_cast<int>(error_pos.size()) <= deg;
+         ++i) {
+        const int e = nn - 1 - i;
+        // Evaluate sigma(alpha^{-e}).
+        int acc = 0;
+        for (int d = 0; d <= deg; ++d) {
+            if (sigma[static_cast<std::size_t>(d)] == 0)
+                continue;
+            const long long expo =
+                (static_cast<long long>(gf_.order()) - e) % gf_.order();
+            acc ^= gf_.mul(sigma[static_cast<std::size_t>(d)],
+                           gf_.exp(expo * d % gf_.order()));
+        }
+        if (acc == 0)
+            error_pos.push_back(i);
+    }
+    if (static_cast<int>(error_pos.size()) != deg)
+        return res; // roots missing (beyond capability or outside frame)
+
+    for (int i : error_pos)
+        frame[static_cast<std::size_t>(i)] ^= 1;
+    res.success = true;
+    res.correctedBits = deg;
+    return res;
+}
+
+} // namespace flash::ecc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Binary BCH codec (systematic, shortened).
+ *
+ * Full implementation: generator polynomial from cyclotomic cosets,
+ * LFSR encoding, syndrome computation, Berlekamp-Massey, and Chien
+ * search. Used by the examples and available as a drop-in page ECC;
+ * the policy simulations use the O(1) EccModel instead.
+ */
+
+#ifndef SENTINELFLASH_ECC_BCH_HH
+#define SENTINELFLASH_ECC_BCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/gf2m.hh"
+
+namespace flash::ecc
+{
+
+/** Decode outcome of one BCH frame. */
+struct BchDecodeResult
+{
+    bool success = false;     ///< decoded within capability
+    int correctedBits = 0;    ///< number of corrected bit errors
+};
+
+/**
+ * Shortened binary BCH code over GF(2^m) correcting up to t errors.
+ *
+ * The natural length is n = 2^m - 1; the code is shortened to
+ * dataBits() + parityBits() by fixing leading message bits to zero.
+ * Bits are handled as one byte per bit (matching Chip::readBits).
+ */
+class BchCodec
+{
+  public:
+    /**
+     * Build a codec.
+     * @param m Field degree (frame must fit in 2^m - 1 bits).
+     * @param t Correction capability in bits.
+     * @param data_bits Message length after shortening.
+     */
+    BchCodec(int m, int t, int data_bits);
+
+    /** Correction capability t. */
+    int t() const { return t_; }
+
+    /** Message bits per frame. */
+    int dataBits() const { return dataBits_; }
+
+    /** Parity bits per frame (degree of the generator polynomial). */
+    int parityBits() const { return static_cast<int>(gen_.size()) - 1; }
+
+    /** Total frame length. */
+    int frameBits() const { return dataBits_ + parityBits(); }
+
+    /**
+     * Systematic encode: append parityBits() parity bits to
+     * @p data (size dataBits(), one byte per bit).
+     * @return frame of frameBits() bits.
+     */
+    std::vector<std::uint8_t> encode(const std::vector<std::uint8_t> &data) const;
+
+    /**
+     * Decode a frame in place (data followed by parity).
+     * @return success flag and the number of corrected bits. On
+     * failure (more than t errors detected) the frame is unchanged.
+     */
+    BchDecodeResult decode(std::vector<std::uint8_t> &frame) const;
+
+  private:
+    std::vector<int> computeSyndromes(
+        const std::vector<std::uint8_t> &frame) const;
+
+    Gf2m gf_;
+    int t_;
+    int dataBits_;
+    std::vector<std::uint8_t> gen_; ///< generator poly coefficients (GF(2))
+};
+
+} // namespace flash::ecc
+
+#endif // SENTINELFLASH_ECC_BCH_HH

@@ -1,0 +1,35 @@
+#include "ecc/ecc_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace flash::ecc
+{
+
+double
+EccModel::worstFrameErrors(std::uint64_t page_errors,
+                           std::uint64_t page_bits) const
+{
+    util::fatalIf(page_bits == 0, "EccModel: empty page");
+    const double frames = std::max(
+        1.0, static_cast<double>(page_bits)
+            / static_cast<double>(config_.frameBits));
+    const double p = static_cast<double>(page_errors)
+        / static_cast<double>(page_bits);
+    const double mu = p * config_.frameBits;
+    const double sigma = std::sqrt(
+        std::max(0.0, config_.frameBits * p * (1.0 - p)));
+    return mu + sigma * std::sqrt(2.0 * std::log(std::max(2.0, frames)));
+}
+
+bool
+EccModel::pageDecodable(std::uint64_t page_errors,
+                        std::uint64_t page_bits) const
+{
+    return worstFrameErrors(page_errors, page_bits)
+        <= static_cast<double>(config_.correctableBits);
+}
+
+} // namespace flash::ecc

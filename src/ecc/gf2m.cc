@@ -1,0 +1,92 @@
+#include "ecc/gf2m.hh"
+
+#include "util/logging.hh"
+
+namespace flash::ecc
+{
+
+namespace
+{
+
+/** Primitive polynomials (including the x^m term), indexed by m. */
+constexpr int kPrimitivePoly[] = {
+    0, 0, 0,
+    0b1011,             // m = 3: x^3 + x + 1
+    0b10011,            // m = 4: x^4 + x + 1
+    0b100101,           // m = 5: x^5 + x^2 + 1
+    0b1000011,          // m = 6: x^6 + x + 1
+    0b10001001,         // m = 7: x^7 + x^3 + 1
+    0b100011101,        // m = 8: x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,       // m = 9: x^9 + x^4 + 1
+    0b10000001001,      // m = 10: x^10 + x^3 + 1
+    0b100000000101,     // m = 11: x^11 + x^2 + 1
+    0b1000001010011,    // m = 12: x^12 + x^6 + x^4 + x + 1
+    0b10000000011011,   // m = 13: x^13 + x^4 + x^3 + x + 1
+    0b100010001000011,  // m = 14: x^14 + x^10 + x^6 + x + 1
+};
+
+} // namespace
+
+Gf2m::Gf2m(int m) : m_(m)
+{
+    util::fatalIf(m < 3 || m > 14, "Gf2m: m must be in [3, 14]");
+    const int poly = kPrimitivePoly[m];
+    const int n = order();
+
+    exp_.resize(static_cast<std::size_t>(n));
+    log_.assign(static_cast<std::size_t>(size()), -1);
+
+    int x = 1;
+    for (int i = 0; i < n; ++i) {
+        exp_[static_cast<std::size_t>(i)] = x;
+        util::panicIf(log_[static_cast<std::size_t>(x)] != -1,
+                      "Gf2m: polynomial is not primitive");
+        log_[static_cast<std::size_t>(x)] = i;
+        x <<= 1;
+        if (x & size())
+            x ^= poly;
+    }
+}
+
+int
+Gf2m::log(int x) const
+{
+    util::fatalIf(x <= 0 || x >= size(), "Gf2m: log of zero or out of range");
+    return log_[static_cast<std::size_t>(x)];
+}
+
+int
+Gf2m::mul(int a, int b) const
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return exp(log(a) + log(b));
+}
+
+int
+Gf2m::inv(int a) const
+{
+    util::fatalIf(a == 0, "Gf2m: inverse of zero");
+    return exp(order() - log(a));
+}
+
+int
+Gf2m::div(int a, int b) const
+{
+    util::fatalIf(b == 0, "Gf2m: division by zero");
+    if (a == 0)
+        return 0;
+    return exp(log(a) - log(b));
+}
+
+int
+Gf2m::pow(int a, int p) const
+{
+    if (a == 0)
+        return p == 0 ? 1 : 0;
+    const int e = static_cast<int>(
+        (static_cast<long long>(log(a)) * p) % order());
+    return exp(e);
+}
+
+} // namespace flash::ecc

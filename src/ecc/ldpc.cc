@@ -1,0 +1,115 @@
+#include "ecc/ldpc.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace flash::ecc
+{
+
+QcLdpc::QcLdpc(int z, int j, int l) : z_(z), j_(j), l_(l)
+{
+    util::fatalIf(z < 2 || j < 2 || l <= j, "QcLdpc: bad (z, j, l)");
+    neighbors_.resize(static_cast<std::size_t>(checks()));
+    for (int bi = 0; bi < j_; ++bi) {
+        for (int r = 0; r < z_; ++r) {
+            auto &row = neighbors_[static_cast<std::size_t>(bi * z_ + r)];
+            row.reserve(static_cast<std::size_t>(l_));
+            for (int bj = 0; bj < l_; ++bj) {
+                const int shift = (bi * bj) % z_;
+                row.push_back(bj * z_ + (r + shift) % z_);
+            }
+        }
+    }
+}
+
+MinSumDecoder::MinSumDecoder(const QcLdpc &code, int max_iters, double alpha)
+    : code_(code), maxIters_(max_iters), alpha_(static_cast<float>(alpha))
+{
+    util::fatalIf(max_iters < 1, "MinSumDecoder: max_iters must be >= 1");
+}
+
+LdpcDecodeResult
+MinSumDecoder::decode(const std::vector<float> &llr,
+                      std::vector<std::uint8_t> *hard_out) const
+{
+    const int n = code_.n();
+    const int m = code_.checks();
+    util::fatalIf(static_cast<int>(llr.size()) != n,
+                  "MinSumDecoder: llr size mismatch");
+
+    // Per-edge check-to-variable messages, stored per check row.
+    std::vector<std::vector<float>> r_msg(static_cast<std::size_t>(m));
+    for (int c = 0; c < m; ++c) {
+        r_msg[static_cast<std::size_t>(c)].assign(
+            code_.checkNeighbors(c).size(), 0.0f);
+    }
+
+    std::vector<float> total(llr);
+    std::vector<std::uint8_t> hard(static_cast<std::size_t>(n), 0);
+
+    LdpcDecodeResult res;
+    for (int it = 1; it <= maxIters_; ++it) {
+        res.iterations = it;
+
+        // Check-node update (two-min trick) on Q = total - R.
+        for (int c = 0; c < m; ++c) {
+            const auto &nb = code_.checkNeighbors(c);
+            auto &rm = r_msg[static_cast<std::size_t>(c)];
+
+            float min1 = 1e30f, min2 = 1e30f;
+            int min_idx = -1;
+            int sign_prod = 1;
+            for (std::size_t e = 0; e < nb.size(); ++e) {
+                const float q =
+                    total[static_cast<std::size_t>(nb[e])] - rm[e];
+                const float a = std::fabs(q);
+                if (q < 0.0f)
+                    sign_prod = -sign_prod;
+                if (a < min1) {
+                    min2 = min1;
+                    min1 = a;
+                    min_idx = static_cast<int>(e);
+                } else if (a < min2) {
+                    min2 = a;
+                }
+            }
+            for (std::size_t e = 0; e < nb.size(); ++e) {
+                const float q =
+                    total[static_cast<std::size_t>(nb[e])] - rm[e];
+                const float mag =
+                    static_cast<int>(e) == min_idx ? min2 : min1;
+                int sgn = sign_prod;
+                if (q < 0.0f)
+                    sgn = -sgn;
+                const float new_r = alpha_ * static_cast<float>(sgn) * mag;
+                // Update the variable's total incrementally.
+                total[static_cast<std::size_t>(nb[e])] += new_r - rm[e];
+                rm[e] = new_r;
+            }
+        }
+
+        // Hard decision + parity check.
+        for (int v = 0; v < n; ++v) {
+            hard[static_cast<std::size_t>(v)] =
+                total[static_cast<std::size_t>(v)] < 0.0f;
+        }
+        bool ok = true;
+        for (int c = 0; c < m && ok; ++c) {
+            int parity = 0;
+            for (int v : code_.checkNeighbors(c))
+                parity ^= hard[static_cast<std::size_t>(v)];
+            ok = parity == 0;
+        }
+        if (ok) {
+            res.success = true;
+            break;
+        }
+    }
+
+    if (hard_out)
+        *hard_out = std::move(hard);
+    return res;
+}
+
+} // namespace flash::ecc

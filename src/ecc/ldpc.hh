@@ -1,0 +1,97 @@
+/**
+ * @file
+ * QC-LDPC code construction and a normalized min-sum decoder.
+ *
+ * The Fig 19 experiment Monte-Carlos real LDPC decoding over error
+ * vectors drawn from the chip model, with hard, 2-bit-soft and
+ * 3-bit-soft sensing. The code is a (J, L) array code: a J x L grid
+ * of Z x Z circulant permutation blocks with shifts (i * j) mod Z,
+ * which has girth >= 6 for prime Z.
+ */
+
+#ifndef SENTINELFLASH_ECC_LDPC_HH
+#define SENTINELFLASH_ECC_LDPC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace flash::ecc
+{
+
+/** Sparse parity-check matrix of a QC-LDPC array code. */
+class QcLdpc
+{
+  public:
+    /**
+     * Build the (J, L, Z) array code.
+     * @param z Circulant size (prime recommended).
+     * @param j Block rows (variable degree).
+     * @param l Block columns (check degree).
+     */
+    QcLdpc(int z, int j, int l);
+
+    /** Codeword length in bits. */
+    int n() const { return l_ * z_; }
+
+    /** Number of parity checks. */
+    int checks() const { return j_ * z_; }
+
+    /** Design rate (assuming full-rank H). */
+    double rate() const
+    {
+        return 1.0 - static_cast<double>(j_) / static_cast<double>(l_);
+    }
+
+    /** Variable indices participating in check @p c. */
+    const std::vector<int> &checkNeighbors(int c) const
+    {
+        return neighbors_[static_cast<std::size_t>(c)];
+    }
+
+    /** Circulant size. */
+    int z() const { return z_; }
+
+  private:
+    int z_, j_, l_;
+    std::vector<std::vector<int>> neighbors_;
+};
+
+/** Outcome of one LDPC decode. */
+struct LdpcDecodeResult
+{
+    bool success = false; ///< all parity checks satisfied
+    int iterations = 0;   ///< iterations consumed
+};
+
+/**
+ * Normalized min-sum decoder (flooding schedule).
+ */
+class MinSumDecoder
+{
+  public:
+    /**
+     * @param code The parity-check structure.
+     * @param max_iters Maximum decoding iterations.
+     * @param alpha Min-sum normalization factor.
+     */
+    MinSumDecoder(const QcLdpc &code, int max_iters = 30,
+                  double alpha = 0.8);
+
+    /**
+     * Decode from channel LLRs (positive = bit 0 more likely).
+     * @param llr Channel LLRs, size code.n().
+     * @param hard_out Optional: receives the hard decisions.
+     */
+    LdpcDecodeResult decode(const std::vector<float> &llr,
+                            std::vector<std::uint8_t> *hard_out
+                            = nullptr) const;
+
+  private:
+    const QcLdpc &code_;
+    int maxIters_;
+    float alpha_;
+};
+
+} // namespace flash::ecc
+
+#endif // SENTINELFLASH_ECC_LDPC_HH

@@ -1,0 +1,102 @@
+#include "ecc/soft_sensing.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace flash::ecc
+{
+
+const char *
+sensingModeName(SensingMode mode)
+{
+    switch (mode) {
+      case SensingMode::Hard:
+        return "hard";
+      case SensingMode::Soft2Bit:
+        return "2-bit soft";
+      case SensingMode::Soft3Bit:
+        return "3-bit soft";
+    }
+    return "?";
+}
+
+int
+senseOps(SensingMode mode)
+{
+    switch (mode) {
+      case SensingMode::Hard:
+        return 1;
+      case SensingMode::Soft2Bit:
+        return 3;
+      case SensingMode::Soft3Bit:
+        return 7;
+    }
+    return 1;
+}
+
+namespace
+{
+
+/** LLR magnitude by agreement count, per mode. */
+float
+llrMagnitude(SensingMode mode, int agreement, int extra_senses)
+{
+    if (mode == SensingMode::Hard)
+        return 2.0f;
+    // agreement in [0, extra_senses]: how many non-center senses
+    // matched the center decision. Higher agreement = the cell is
+    // far from the threshold = high confidence.
+    static const float k2bit[] = {0.5f, 2.0f, 4.5f};
+    static const float k3bit[] = {0.3f, 0.8f, 1.5f, 2.4f,
+                                  3.3f, 4.2f, 5.2f};
+    if (mode == SensingMode::Soft2Bit)
+        return k2bit[agreement <= 2 ? agreement : 2];
+    (void)extra_senses;
+    return k3bit[agreement <= 6 ? agreement : 6];
+}
+
+} // namespace
+
+SoftReadResult
+softReadRange(const nand::Chip &chip, int block, int wl, int page,
+              const std::vector<int> &voltages, SensingMode mode,
+              double delta_dac, std::uint64_t read_seq_base, int col_begin,
+              int col_end)
+{
+    const int ops = senseOps(mode);
+    const int extra = ops - 1;
+    const int half = extra / 2;
+
+    SoftReadResult out;
+
+    // Center sense first.
+    chip.readBits(block, wl, page, voltages, read_seq_base, col_begin,
+                  col_end, out.hardBits);
+
+    std::vector<int> agreement(out.hardBits.size(), 0);
+    std::vector<std::uint8_t> bits;
+    int seq = 1;
+    for (int s = -half; s <= half; ++s) {
+        if (s == 0)
+            continue;
+        std::vector<int> shifted(voltages);
+        const int off = static_cast<int>(std::lround(s * delta_dac));
+        for (std::size_t k = 1; k < shifted.size(); ++k)
+            shifted[k] += off;
+        chip.readBits(block, wl, page, shifted,
+                      read_seq_base + static_cast<std::uint64_t>(seq++),
+                      col_begin, col_end, bits);
+        for (std::size_t i = 0; i < bits.size(); ++i)
+            agreement[i] += bits[i] == out.hardBits[i];
+    }
+
+    out.llr.resize(out.hardBits.size());
+    for (std::size_t i = 0; i < out.hardBits.size(); ++i) {
+        const float mag = llrMagnitude(mode, agreement[i], extra);
+        out.llr[i] = out.hardBits[i] ? -mag : mag;
+    }
+    return out;
+}
+
+} // namespace flash::ecc

@@ -1,0 +1,325 @@
+#include "nandsim/chip.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace flash::nand
+{
+
+namespace
+{
+
+constexpr std::uint64_t kSaltCellState = 0x63656c6c53740001ULL;
+constexpr std::uint64_t kSaltCellZ = 0x63656c6c5a7a0002ULL;
+constexpr std::uint64_t kSaltReadNoise = 0x72646e6f69730003ULL;
+
+} // namespace
+
+Chip::Chip(const ChipGeometry &geometry, const VoltageModelParams &params,
+           std::uint64_t seed)
+    : geom_(geometry),
+      model_(geometry.cellType, params),
+      code_(geometry.cellType),
+      seed_(seed)
+{
+    geom_.validate();
+    ages_.resize(static_cast<std::size_t>(geom_.blocks));
+    content_.resize(static_cast<std::size_t>(geom_.blocks));
+    for (int b = 0; b < geom_.blocks; ++b) {
+        auto &blk = content_[static_cast<std::size_t>(b)];
+        blk.resize(static_cast<std::size_t>(geom_.wordlinesPerBlock()));
+        for (int w = 0; w < geom_.wordlinesPerBlock(); ++w) {
+            blk[static_cast<std::size_t>(w)].dataSeed = util::hashWords(
+                {seed_, kSaltCellState, static_cast<std::uint64_t>(b),
+                 static_cast<std::uint64_t>(w)});
+        }
+    }
+}
+
+void
+Chip::checkAddress(int block, int wl) const
+{
+    util::fatalIf(block < 0 || block >= geom_.blocks,
+                  "chip: block out of range");
+    util::fatalIf(wl < 0 || wl >= geom_.wordlinesPerBlock(),
+                  "chip: wordline out of range");
+}
+
+void
+Chip::setPeCycles(int block, std::uint32_t pe)
+{
+    checkAddress(block, 0);
+    ages_[static_cast<std::size_t>(block)].peCycles = pe;
+}
+
+void
+Chip::age(int block, double hours, double tempC)
+{
+    checkAddress(block, 0);
+    util::fatalIf(hours < 0.0, "chip: negative retention hours");
+    auto &a = ages_[static_cast<std::size_t>(block)];
+    const double eff = hours * model_.arrheniusFactor(tempC);
+    const double total = a.effRetentionHours + eff;
+    if (total > 0.0) {
+        a.retentionTempC =
+            (a.retentionTempC * a.effRetentionHours + tempC * eff) / total;
+    }
+    a.effRetentionHours = total;
+}
+
+void
+Chip::refresh(int block)
+{
+    checkAddress(block, 0);
+    auto &a = ages_[static_cast<std::size_t>(block)];
+    a.effRetentionHours = 0.0;
+    a.retentionTempC = 25.0;
+    a.readCount = 0;
+}
+
+void
+Chip::recordReads(int block, std::uint64_t n)
+{
+    checkAddress(block, 0);
+    ages_[static_cast<std::size_t>(block)].readCount += n;
+}
+
+const BlockAge &
+Chip::blockAge(int block) const
+{
+    checkAddress(block, 0);
+    return ages_[static_cast<std::size_t>(block)];
+}
+
+BlockAge &
+Chip::blockAge(int block)
+{
+    checkAddress(block, 0);
+    return ages_[static_cast<std::size_t>(block)];
+}
+
+void
+Chip::programWordline(int block, int wl, WordlineContent content)
+{
+    checkAddress(block, wl);
+    if (!content.explicitStates.empty()) {
+        util::fatalIf(static_cast<int>(content.explicitStates.size())
+                          != geom_.bitlines(),
+                      "chip: explicit states size mismatch");
+        for (std::uint8_t s : content.explicitStates) {
+            util::fatalIf(s >= geom_.states(),
+                          "chip: explicit state out of range");
+        }
+    }
+    if (content.sentinels) {
+        const auto &o = *content.sentinels;
+        util::fatalIf(o.start < 0 || o.count < 0
+                          || o.start + o.count > geom_.bitlines(),
+                      "chip: sentinel overlay out of range");
+        util::fatalIf(o.lowState >= geom_.states()
+                          || o.highState >= geom_.states(),
+                      "chip: sentinel state out of range");
+    }
+    content_[static_cast<std::size_t>(block)][static_cast<std::size_t>(wl)] =
+        std::move(content);
+}
+
+void
+Chip::programBlock(int block, std::uint64_t data_seed,
+                   const std::optional<SentinelOverlay> &overlay)
+{
+    checkAddress(block, 0);
+    for (int w = 0; w < geom_.wordlinesPerBlock(); ++w) {
+        WordlineContent c;
+        c.dataSeed = util::hashWords({data_seed,
+                                      static_cast<std::uint64_t>(block),
+                                      static_cast<std::uint64_t>(w)});
+        c.sentinels = overlay;
+        programWordline(block, w, std::move(c));
+    }
+}
+
+const WordlineContent &
+Chip::content(int block, int wl) const
+{
+    checkAddress(block, wl);
+    return content_[static_cast<std::size_t>(block)]
+                   [static_cast<std::size_t>(wl)];
+}
+
+namespace
+{
+
+/** State of a cell given its wordline's content descriptor. */
+inline std::uint8_t
+stateOf(const WordlineContent &c, int col, int states)
+{
+    if (c.sentinels && c.sentinels->contains(col))
+        return c.sentinels->stateOf(col - c.sentinels->start);
+    if (!c.explicitStates.empty())
+        return c.explicitStates[static_cast<std::size_t>(col)];
+    const std::uint64_t h =
+        util::fastHash(c.dataSeed, static_cast<std::uint64_t>(col));
+    return static_cast<std::uint8_t>(h % static_cast<unsigned>(states));
+}
+
+} // namespace
+
+std::uint8_t
+Chip::trueState(int block, int wl, int col) const
+{
+    const auto &c = content(block, wl);
+    util::fatalIf(col < 0 || col >= geom_.bitlines(),
+                  "chip: column out of range");
+    return stateOf(c, col, geom_.states());
+}
+
+WordlineContext
+Chip::wordlineContext(int block, int wl) const
+{
+    checkAddress(block, wl);
+    const BlockAge &age = ages_[static_cast<std::size_t>(block)];
+    const int layer = geom_.layerOf(wl);
+    const double ret_f = model_.layerRetentionFactor(seed_, block, layer)
+        * model_.wordlineFactor(seed_, block, wl);
+    const double sig_f = model_.layerSigmaFactor(seed_, block, layer);
+
+    WordlineContext ctx;
+    const auto n = static_cast<std::size_t>(geom_.states());
+    ctx.mean.resize(n);
+    ctx.sigma.resize(n);
+    ctx.tailMean.resize(n);
+    ctx.tailSigma.resize(n);
+    for (int s = 0; s < geom_.states(); ++s) {
+        ctx.mean[static_cast<std::size_t>(s)] =
+            model_.stateMean(s, age, ret_f);
+        ctx.sigma[static_cast<std::size_t>(s)] =
+            model_.stateSigma(s, age, sig_f);
+        ctx.tailMean[static_cast<std::size_t>(s)] =
+            model_.stateTailMean(s, age, ret_f);
+        ctx.tailSigma[static_cast<std::size_t>(s)] =
+            model_.stateTailSigma(s, age, sig_f);
+    }
+    ctx.tailThresh = static_cast<std::uint32_t>(
+        model_.params().tailWeight * 2048.0);
+    ctx.gradient = model_.wordlineGradient(seed_, block, wl);
+    ctx.readNoiseSigma = model_.readNoiseSigma();
+    return ctx;
+}
+
+double
+Chip::cellVth(const WordlineContext &ctx, int block, int wl, int col,
+              int state, std::uint64_t read_seq) const
+{
+    const std::uint64_t zh = util::fastHash(
+        seed_ ^ kSaltCellZ, static_cast<std::uint64_t>(block),
+        static_cast<std::uint64_t>(wl), static_cast<std::uint64_t>(col));
+    // toGaussian consumes the top 53 bits; the low 11 gate the
+    // heavy-tail population independently, at zero extra hash cost.
+    const bool tail = (zh & 0x7ff) < ctx.tailThresh;
+    const double z = util::toGaussian(zh);
+    const double frac =
+        static_cast<double>(col) / static_cast<double>(geom_.bitlines() - 1)
+        - 0.5;
+    const auto si = static_cast<std::size_t>(state);
+    double vth = (tail ? ctx.tailMean[si] : ctx.mean[si])
+        + (tail ? ctx.tailSigma[si] : ctx.sigma[si]) * z
+        + ctx.gradient * frac;
+    if (ctx.readNoiseSigma > 0.0) {
+        vth += ctx.readNoiseSigma
+            * util::toGaussian(util::fastHash(
+                seed_ ^ kSaltReadNoise, read_seq,
+                static_cast<std::uint64_t>(block),
+                static_cast<std::uint64_t>(wl),
+                static_cast<std::uint64_t>(col)));
+    }
+    return vth;
+}
+
+double
+Chip::senseVth(int block, int wl, int col, std::uint64_t read_seq) const
+{
+    const WordlineContext ctx = wordlineContext(block, wl);
+    return cellVth(ctx, block, wl, col, trueState(block, wl, col), read_seq);
+}
+
+PageReadResult
+Chip::readPage(int block, int wl, int page,
+               const std::vector<int> &voltages,
+               std::uint64_t read_seq) const
+{
+    PageReadResult r;
+    std::vector<std::uint8_t> bits;
+    readBits(block, wl, page, voltages, read_seq, 0, geom_.dataBitlines,
+             bits);
+    std::vector<std::uint8_t> truth;
+    trueBits(block, wl, page, 0, geom_.dataBitlines, truth);
+    r.bits = bits.size();
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        r.bitErrors += bits[i] != truth[i];
+    return r;
+}
+
+void
+Chip::readBits(int block, int wl, int page,
+               const std::vector<int> &voltages, std::uint64_t read_seq,
+               int col_begin, int col_end,
+               std::vector<std::uint8_t> &bits_out) const
+{
+    checkAddress(block, wl);
+    util::fatalIf(page < 0 || page >= geom_.pagesPerWordline(),
+                  "chip: page out of range");
+    util::fatalIf(col_begin < 0 || col_end > geom_.bitlines()
+                      || col_begin > col_end,
+                  "chip: bad column range");
+    util::fatalIf(static_cast<int>(voltages.size()) < geom_.states(),
+                  "chip: voltage vector must be indexed 1..boundaries");
+
+    const auto &ks = code_.boundariesOfPage(page);
+    std::vector<int> thresholds;
+    thresholds.reserve(ks.size());
+    for (int k : ks)
+        thresholds.push_back(voltages[static_cast<std::size_t>(k)]);
+
+    const WordlineContext ctx = wordlineContext(block, wl);
+    const int bit0 = code_.bit(0, page);
+    const WordlineContent &c = content(block, wl);
+
+    bits_out.clear();
+    bits_out.reserve(static_cast<std::size_t>(col_end - col_begin));
+    for (int col = col_begin; col < col_end; ++col) {
+        const int state = stateOf(c, col, geom_.states());
+        // Quantize to the DAC grid (the comparator resolution), the
+        // same rounding WordlineSnapshot applies.
+        const int vth = static_cast<int>(std::lround(
+            cellVth(ctx, block, wl, col, state, read_seq)));
+        int region = 0;
+        for (int t : thresholds)
+            region += vth > t;
+        bits_out.push_back(
+            static_cast<std::uint8_t>(bit0 ^ (region & 1)));
+    }
+}
+
+void
+Chip::trueBits(int block, int wl, int page, int col_begin, int col_end,
+               std::vector<std::uint8_t> &bits_out) const
+{
+    checkAddress(block, wl);
+    util::fatalIf(page < 0 || page >= geom_.pagesPerWordline(),
+                  "chip: page out of range");
+    util::fatalIf(col_begin < 0 || col_end > geom_.bitlines()
+                      || col_begin > col_end,
+                  "chip: bad column range");
+    const WordlineContent &c = content(block, wl);
+    bits_out.clear();
+    bits_out.reserve(static_cast<std::size_t>(col_end - col_begin));
+    for (int col = col_begin; col < col_end; ++col) {
+        bits_out.push_back(static_cast<std::uint8_t>(
+            code_.bit(stateOf(c, col, geom_.states()), page)));
+    }
+}
+
+} // namespace flash::nand

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * A simulated 3D NAND chip: content, aging and sensing.
+ *
+ * By default every wordline is "programmed" with procedural random
+ * data (a pure hash of its address), which is exactly what the
+ * characterization experiments need and costs no per-cell storage.
+ * Explicit per-cell states can be programmed for ECC/FTL paths, and a
+ * sentinel overlay programs a contiguous OOB-tail range half/half to
+ * the two states around the sentinel voltage.
+ */
+
+#ifndef SENTINELFLASH_NANDSIM_CHIP_HH
+#define SENTINELFLASH_NANDSIM_CHIP_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nandsim/geometry.hh"
+#include "nandsim/gray_code.hh"
+#include "nandsim/voltage_model.hh"
+
+namespace flash::nand
+{
+
+/**
+ * Sentinel overlay of one wordline: @p count cells starting at
+ * absolute column @p start alternate between @p lowState and
+ * @p highState (even split, known pattern).
+ */
+struct SentinelOverlay
+{
+    int start = 0;
+    int count = 0;
+    std::uint8_t lowState = 0;
+    std::uint8_t highState = 0;
+
+    /** True state of sentinel cell index i (0-based within overlay). */
+    std::uint8_t stateOf(int i) const
+    {
+        return (i & 1) ? highState : lowState;
+    }
+
+    /** Whether absolute column @p col falls inside the overlay. */
+    bool contains(int col) const
+    {
+        return col >= start && col < start + count;
+    }
+};
+
+/** Content of one wordline. */
+struct WordlineContent
+{
+    /** Seed of the procedural random data pattern. */
+    std::uint64_t dataSeed = 0;
+
+    /** Optional sentinel overlay in the OOB tail. */
+    std::optional<SentinelOverlay> sentinels;
+
+    /**
+     * Optional explicit per-cell states (size = bitlines). When
+     * non-empty it overrides the procedural pattern (but not the
+     * sentinel overlay).
+     */
+    std::vector<std::uint8_t> explicitStates;
+};
+
+/**
+ * Distribution context of one wordline: per-state aged means/sigmas
+ * plus the spatial gradient. Computing this once per wordline keeps
+ * the per-cell sensing loop cheap.
+ */
+struct WordlineContext
+{
+    std::vector<double> mean;       ///< [state], main population
+    std::vector<double> sigma;      ///< [state], main population
+    std::vector<double> tailMean;   ///< [state], heavy-tail population
+    std::vector<double> tailSigma;  ///< [state], heavy-tail population
+    std::uint32_t tailThresh = 0;   ///< tail gate on 11 hash bits
+    double gradient = 0.0;          ///< DAC from first to last bitline
+    double readNoiseSigma = 0.0;
+};
+
+/** Result of an exact page read. */
+struct PageReadResult
+{
+    std::uint64_t bitErrors = 0; ///< misread bits vs programmed data
+    std::uint64_t bits = 0;      ///< bits read
+
+    /** Raw bit error rate of this read. */
+    double rber() const
+    {
+        return bits ? static_cast<double>(bitErrors)
+                / static_cast<double>(bits)
+                    : 0.0;
+    }
+};
+
+/**
+ * One simulated chip. Thread-safe for concurrent const sensing of
+ * distinct wordlines; mutation (aging/programming) is not.
+ */
+class Chip
+{
+  public:
+    /**
+     * Build a chip. All blocks start programmed with procedural
+     * random data, zero P/E cycles and zero retention.
+     */
+    Chip(const ChipGeometry &geometry, const VoltageModelParams &params,
+         std::uint64_t seed);
+
+    /** Chip geometry. */
+    const ChipGeometry &geometry() const { return geom_; }
+
+    /** Vth model. */
+    const VoltageModel &model() const { return model_; }
+
+    /** Gray code in use. */
+    const GrayCode &grayCode() const { return code_; }
+
+    /** Chip seed (procedural noise key). */
+    std::uint64_t seed() const { return seed_; }
+
+    /// @name Aging
+    /// @{
+
+    /** Set the endured P/E cycle count of a block. */
+    void setPeCycles(int block, std::uint32_t pe);
+
+    /**
+     * Let a block sit for @p hours at @p tempC. Retention is
+     * Arrhenius-accelerated into room-equivalent hours; the block's
+     * retention temperature is updated as an effective-hours-weighted
+     * mean.
+     */
+    void age(int block, double hours, double tempC = 25.0);
+
+    /** Clear retention and read disturb (a fresh program). */
+    void refresh(int block);
+
+    /** Record @p n reads against a block (read disturb). */
+    void recordReads(int block, std::uint64_t n);
+
+    /** Aging state of a block. */
+    const BlockAge &blockAge(int block) const;
+
+    /** Mutable aging state (experiment harnesses). */
+    BlockAge &blockAge(int block);
+
+    /// @}
+    /// @name Content
+    /// @{
+
+    /** Re-program one wordline. */
+    void programWordline(int block, int wl, WordlineContent content);
+
+    /**
+     * Program every wordline of a block with procedural random data
+     * derived from @p data_seed, optionally with a sentinel overlay
+     * (the same overlay geometry on every wordline).
+     */
+    void programBlock(int block, std::uint64_t data_seed,
+                      const std::optional<SentinelOverlay> &overlay
+                      = std::nullopt);
+
+    /** Content descriptor of a wordline. */
+    const WordlineContent &content(int block, int wl) const;
+
+    /** True programmed state of a cell. */
+    std::uint8_t trueState(int block, int wl, int col) const;
+
+    /// @}
+    /// @name Sensing
+    /// @{
+
+    /** Distribution context of a wordline under its current age. */
+    WordlineContext wordlineContext(int block, int wl) const;
+
+    /**
+     * Sense one cell's threshold voltage. @p read_seq distinguishes
+     * reads: the same sequence number reproduces the same sensing
+     * noise, a different one redraws it.
+     */
+    double senseVth(int block, int wl, int col, std::uint64_t read_seq) const;
+
+    /** Cell's static Vth given a precomputed context (fast path). */
+    double cellVth(const WordlineContext &ctx, int block, int wl, int col,
+                   int state, std::uint64_t read_seq) const;
+
+    /**
+     * Exact page read: applies the page's read voltages (indexed by
+     * boundary, 1-based; only the page's boundaries are consulted)
+     * and counts misread bits against the programmed data.
+     */
+    PageReadResult readPage(int block, int wl, int page,
+                            const std::vector<int> &voltages,
+                            std::uint64_t read_seq) const;
+
+    /**
+     * Read raw bits of a column range of a page into @p bits_out
+     * (one byte per bit). Used by the ECC experiments.
+     */
+    void readBits(int block, int wl, int page,
+                  const std::vector<int> &voltages, std::uint64_t read_seq,
+                  int col_begin, int col_end,
+                  std::vector<std::uint8_t> &bits_out) const;
+
+    /** True (programmed) bits of a column range of a page. */
+    void trueBits(int block, int wl, int page, int col_begin, int col_end,
+                  std::vector<std::uint8_t> &bits_out) const;
+
+    /** Monotonically increasing read-sequence counter. */
+    std::uint64_t nextReadSeq() const { return ++readSeq_; }
+
+    /// @}
+
+  private:
+    void checkAddress(int block, int wl) const;
+
+    ChipGeometry geom_;
+    VoltageModel model_;
+    GrayCode code_;
+    std::uint64_t seed_;
+
+    std::vector<BlockAge> ages_;
+    std::vector<std::vector<WordlineContent>> content_;
+    mutable std::uint64_t readSeq_ = 0;
+};
+
+} // namespace flash::nand
+
+#endif // SENTINELFLASH_NANDSIM_CHIP_HH

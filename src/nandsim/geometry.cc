@@ -1,0 +1,72 @@
+#include "nandsim/geometry.hh"
+
+#include "util/logging.hh"
+
+namespace flash::nand
+{
+
+void
+ChipGeometry::validate() const
+{
+    util::fatalIf(layers <= 0, "geometry: layers must be positive");
+    util::fatalIf(strings <= 0, "geometry: strings must be positive");
+    util::fatalIf(dataBitlines <= 0, "geometry: dataBitlines must be positive");
+    util::fatalIf(oobBitlines < 0, "geometry: oobBitlines must be >= 0");
+    util::fatalIf(blocks <= 0, "geometry: blocks must be positive");
+}
+
+std::string
+ChipGeometry::describe() const
+{
+    const char *type = cellType == CellType::TLC ? "TLC" : "QLC";
+    return std::string(type) + " " + std::to_string(layers) + "L x "
+        + std::to_string(strings) + "S, "
+        + std::to_string(wordlinesPerBlock()) + " WL/blk, "
+        + std::to_string(bitlines()) + " bitlines ("
+        + std::to_string(oobBitlines) + " OOB)";
+}
+
+ChipGeometry
+paperTlcGeometry()
+{
+    ChipGeometry g;
+    g.cellType = CellType::TLC;
+    g.layers = 64;
+    g.strings = 4;
+    g.dataBitlines = 131072; // 16384 bytes of user data
+    g.oobBitlines = 17664;   // 2208 bytes of OOB
+    g.blocks = 8;
+    return g;
+}
+
+ChipGeometry
+paperQlcGeometry()
+{
+    ChipGeometry g = paperTlcGeometry();
+    g.cellType = CellType::QLC;
+    g.strings = 12; // 768 wordlines per block, as in the paper's figures
+    return g;
+}
+
+ChipGeometry
+tinyTlcGeometry()
+{
+    ChipGeometry g;
+    g.cellType = CellType::TLC;
+    g.layers = 8;
+    g.strings = 2;
+    g.dataBitlines = 4096;
+    g.oobBitlines = 512;
+    g.blocks = 4;
+    return g;
+}
+
+ChipGeometry
+tinyQlcGeometry()
+{
+    ChipGeometry g = tinyTlcGeometry();
+    g.cellType = CellType::QLC;
+    return g;
+}
+
+} // namespace flash::nand

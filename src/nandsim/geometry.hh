@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Chip geometry: how cells are organized into blocks, layers,
+ * wordlines and bitlines, and how many bits each cell stores.
+ */
+
+#ifndef SENTINELFLASH_NANDSIM_GEOMETRY_HH
+#define SENTINELFLASH_NANDSIM_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace flash::nand
+{
+
+/** Cell density: bits stored per cell. */
+enum class CellType { TLC = 3, QLC = 4 };
+
+/** Number of bits per cell. */
+constexpr int
+bitsPerCell(CellType t)
+{
+    return static_cast<int>(t);
+}
+
+/** Number of threshold-voltage states (8 for TLC, 16 for QLC). */
+constexpr int
+stateCount(CellType t)
+{
+    return 1 << bitsPerCell(t);
+}
+
+/** Number of read-voltage boundaries between states (7 / 15). */
+constexpr int
+boundaryCount(CellType t)
+{
+    return stateCount(t) - 1;
+}
+
+/**
+ * Physical organization of one chip.
+ *
+ * A block is a 3D array: `layers` stacked layers, `strings` vertical
+ * strings per layer, so `layers * strings` wordlines per block. Every
+ * wordline spans `dataBitlines + oobBitlines` cells; the OOB tail
+ * holds ECC parity and (in this work) the sentinel cells.
+ *
+ * Wordline numbering is string-major: wordline w sits on layer
+ * `w % layers` of string `w / layers`.
+ */
+struct ChipGeometry
+{
+    CellType cellType = CellType::TLC;
+    int layers = 64;
+    int strings = 4;
+    int dataBitlines = 131072;  ///< user-data cells per wordline
+    int oobBitlines = 17664;    ///< spare-area cells per wordline
+    int blocks = 8;
+
+    /** Wordlines in one block. */
+    int wordlinesPerBlock() const { return layers * strings; }
+
+    /** Total cells in one wordline. */
+    int bitlines() const { return dataBitlines + oobBitlines; }
+
+    /** Layer index of a wordline within its block. */
+    int layerOf(int wordline) const { return wordline % layers; }
+
+    /** Number of Vth states per cell. */
+    int states() const { return stateCount(cellType); }
+
+    /** Number of read-voltage boundaries. */
+    int boundaries() const { return boundaryCount(cellType); }
+
+    /** Pages per wordline (one per stored bit). */
+    int pagesPerWordline() const { return bitsPerCell(cellType); }
+
+    /** Validate invariants; util::fatal on nonsense configs. */
+    void validate() const;
+
+    /** Short description used in experiment headers. */
+    std::string describe() const;
+};
+
+/** Paper-scale TLC geometry (64 layers, 256 WLs, 18592-byte pages). */
+ChipGeometry paperTlcGeometry();
+
+/** Paper-scale QLC geometry (64 layers, 768 WLs, 18592-byte pages). */
+ChipGeometry paperQlcGeometry();
+
+/** Small TLC geometry for unit tests. */
+ChipGeometry tinyTlcGeometry();
+
+/** Small QLC geometry for unit tests. */
+ChipGeometry tinyQlcGeometry();
+
+} // namespace flash::nand
+
+#endif // SENTINELFLASH_NANDSIM_GEOMETRY_HH

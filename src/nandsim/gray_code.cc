@@ -1,0 +1,55 @@
+#include "nandsim/gray_code.hh"
+
+#include "util/logging.hh"
+
+namespace flash::nand
+{
+
+GrayCode::GrayCode(CellType type) : type_(type)
+{
+    const int nbits = bitsPerCell(type_);
+    const int nstates = stateCount(type_);
+
+    bits_.assign(nstates, std::vector<int>(nbits, 0));
+    for (int s = 0; s < nstates; ++s) {
+        const int gray = s ^ (s >> 1);
+        for (int p = 0; p < nbits; ++p) {
+            // Page 0 (LSB, fewest read voltages) is the most
+            // significant Gray bit; invert so erase reads all-ones.
+            bits_[s][p] = 1 - ((gray >> (nbits - 1 - p)) & 1);
+        }
+    }
+
+    pageOfBoundary_.assign(nstates, -1); // index 0 unused
+    boundariesOfPage_.assign(nbits, {});
+    for (int k = 1; k < nstates; ++k) {
+        int flipped = -1;
+        for (int p = 0; p < nbits; ++p) {
+            if (bits_[k - 1][p] != bits_[k][p]) {
+                util::panicIf(flipped != -1,
+                              "GrayCode: adjacent states differ in more "
+                              "than one bit");
+                flipped = p;
+            }
+        }
+        util::panicIf(flipped == -1,
+                      "GrayCode: adjacent states do not differ");
+        pageOfBoundary_[k] = flipped;
+        boundariesOfPage_[flipped].push_back(k);
+    }
+}
+
+std::string
+GrayCode::pageName(int page) const
+{
+    util::fatalIf(page < 0 || page >= pages(), "pageName: bad page index");
+    if (page == 0)
+        return "LSB";
+    if (page == pages() - 1)
+        return "MSB";
+    if (page == 1)
+        return "CSB";
+    return "CSB2";
+}
+
+} // namespace flash::nand

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Gray coding of Vth states onto page bits.
+ *
+ * The evaluated chips use the standard 1-2-4 (TLC) / 1-2-4-8 (QLC)
+ * coding: an inverted binary-reflected Gray code, so the erased state
+ * reads all-ones and adjacent states differ in exactly one bit. The
+ * TLC mapping reproduces the paper's Figure 1 exactly
+ * (S0..S7 = 111,110,100,101,001,000,010,011 as LSB/CSB/MSB), with
+ * page read-voltage sets LSB {V4}, CSB {V2,V6}, MSB {V1,V3,V5,V7}.
+ * For QLC: LSB {V8}, CSB {V4,V12}, CSB2 {V2,V6,V10,V14},
+ * MSB {V1,V3,...,V15}.
+ */
+
+#ifndef SENTINELFLASH_NANDSIM_GRAY_CODE_HH
+#define SENTINELFLASH_NANDSIM_GRAY_CODE_HH
+
+#include <string>
+#include <vector>
+
+#include "nandsim/geometry.hh"
+
+namespace flash::nand
+{
+
+/** Page indices in read-voltage-count order. */
+enum PageId : int {
+    kLsbPage = 0,  ///< 1 read voltage
+    kCsbPage = 1,  ///< 2 read voltages
+    kCsb2Page = 2, ///< 4 read voltages (QLC only)
+    // MSB is page bitsPerCell-1: index 2 on TLC, 3 on QLC.
+};
+
+/**
+ * State-to-bits mapping for one cell type. Boundary k (1-based,
+ * k in [1, states-1]) is the read voltage separating states k-1
+ * and k, i.e. the paper's V_k.
+ */
+class GrayCode
+{
+  public:
+    explicit GrayCode(CellType type);
+
+    /** Cell type this code describes. */
+    CellType cellType() const { return type_; }
+
+    /** Number of pages (bits per cell). */
+    int pages() const { return bitsPerCell(type_); }
+
+    /** Number of states. */
+    int states() const { return stateCount(type_); }
+
+    /** Number of boundaries (read voltages). */
+    int boundaries() const { return boundaryCount(type_); }
+
+    /**
+     * Bit stored on @p page by a cell in @p state.
+     * @return 0 or 1.
+     */
+    int bit(int state, int page) const { return bits_[state][page]; }
+
+    /** Page whose bit flips across boundary @p k (1-based). */
+    int pageOfBoundary(int k) const { return pageOfBoundary_[k]; }
+
+    /** Boundaries (1-based, ascending) sensed when reading @p page. */
+    const std::vector<int> &boundariesOfPage(int page) const
+    {
+        return boundariesOfPage_[page];
+    }
+
+    /** MSB page index (the page needing the most read voltages). */
+    int msbPage() const { return pages() - 1; }
+
+    /** Human-readable page name: LSB, CSB, CSB2, MSB. */
+    std::string pageName(int page) const;
+
+  private:
+    CellType type_;
+    std::vector<std::vector<int>> bits_;          // [state][page]
+    std::vector<int> pageOfBoundary_;             // [1..boundaries]
+    std::vector<std::vector<int>> boundariesOfPage_; // [page] -> ks
+};
+
+} // namespace flash::nand
+
+#endif // SENTINELFLASH_NANDSIM_GRAY_CODE_HH

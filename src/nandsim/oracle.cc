@@ -1,0 +1,76 @@
+#include "nandsim/oracle.hh"
+
+#include "util/logging.hh"
+
+namespace flash::nand
+{
+
+OptimalVoltage
+OracleSearch::optimalBoundary(const WordlineSnapshot &snap, int k,
+                              int default_v) const
+{
+    OptimalVoltage best;
+    best.defaultErrors = snap.boundaryErrors(k, default_v);
+
+    std::uint64_t min_err = ~0ULL;
+    int best_run_start = searchLo_;
+    int best_run_len = 0;
+    int run_start = searchLo_;
+    int run_len = 0;
+
+    for (int off = searchLo_; off <= searchHi_; ++off) {
+        const std::uint64_t e = snap.boundaryErrors(k, default_v + off);
+        if (e < min_err) {
+            min_err = e;
+            run_start = off;
+            run_len = 1;
+            best_run_start = off;
+            best_run_len = 1;
+        } else if (e == min_err) {
+            if (run_len > 0 && off == run_start + run_len) {
+                ++run_len;
+            } else {
+                run_start = off;
+                run_len = 1;
+            }
+            if (run_len > best_run_len) {
+                best_run_len = run_len;
+                best_run_start = run_start;
+            }
+        } else {
+            run_len = 0;
+        }
+    }
+
+    best.offset = best_run_start + best_run_len / 2;
+    best.errors = min_err;
+    return best;
+}
+
+std::vector<int>
+OracleSearch::optimalVoltages(const WordlineSnapshot &snap,
+                              const std::vector<int> &defaults) const
+{
+    std::vector<int> v(defaults);
+    for (int k = 1; k < snap.states(); ++k) {
+        v[static_cast<std::size_t>(k)] = defaults[static_cast<std::size_t>(k)]
+            + optimalBoundary(snap, k, defaults[static_cast<std::size_t>(k)])
+                  .offset;
+    }
+    return v;
+}
+
+std::vector<OptimalVoltage>
+OracleSearch::optimalOffsets(const WordlineSnapshot &snap,
+                             const std::vector<int> &defaults) const
+{
+    std::vector<OptimalVoltage> out(
+        static_cast<std::size_t>(snap.states()));
+    for (int k = 1; k < snap.states(); ++k) {
+        out[static_cast<std::size_t>(k)] = optimalBoundary(
+            snap, k, defaults[static_cast<std::size_t>(k)]);
+    }
+    return out;
+}
+
+} // namespace flash::nand

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ground-truth optimal read-voltage search.
+ *
+ * Exhaustively sweeps each boundary's threshold over a snapshot and
+ * returns the error-minimizing value (plateau midpoint when several
+ * thresholds tie). This is the "optimal read voltage" every paper
+ * figure compares against; a real controller cannot afford it, which
+ * is the paper's whole point.
+ */
+
+#ifndef SENTINELFLASH_NANDSIM_ORACLE_HH
+#define SENTINELFLASH_NANDSIM_ORACLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nandsim/snapshot.hh"
+
+namespace flash::nand
+{
+
+/** Result of one boundary's optimal search. */
+struct OptimalVoltage
+{
+    int offset = 0;            ///< optimal offset from the default voltage
+    std::uint64_t errors = 0;  ///< boundary errors at the optimum
+    std::uint64_t defaultErrors = 0; ///< boundary errors at the default
+};
+
+/**
+ * Exhaustive optimal-voltage search over a snapshot.
+ */
+class OracleSearch
+{
+  public:
+    /** Search window in DAC offsets around the default voltage. */
+    OracleSearch(int search_lo = -120, int search_hi = 80)
+        : searchLo_(search_lo), searchHi_(search_hi)
+    {}
+
+    /**
+     * Optimal offset of boundary @p k given its default voltage.
+     * Sweeps every integer offset in the window; among offsets
+     * achieving the minimum error count, returns the midpoint of the
+     * longest minimal run (robust against noisy plateaus).
+     */
+    OptimalVoltage optimalBoundary(const WordlineSnapshot &snap, int k,
+                                   int default_v) const;
+
+    /**
+     * Optimal absolute voltages for every boundary, indexed 1-based
+     * like @p defaults (index 0 unused).
+     */
+    std::vector<int> optimalVoltages(const WordlineSnapshot &snap,
+                                     const std::vector<int> &defaults) const;
+
+    /** Per-boundary optimal offsets, indexed 1-based. */
+    std::vector<OptimalVoltage>
+    optimalOffsets(const WordlineSnapshot &snap,
+                   const std::vector<int> &defaults) const;
+
+  private:
+    int searchLo_;
+    int searchHi_;
+};
+
+} // namespace flash::nand
+
+#endif // SENTINELFLASH_NANDSIM_ORACLE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * WordlineSnapshot: one sensing pass over a wordline, binned into
+ * per-true-state Vth histograms.
+ *
+ * Every question the read policies and the oracle ask — up/down
+ * errors of a boundary at any threshold, exact page error counts for
+ * any voltage set, state-change counts between two voltage sets — is
+ * then a prefix-sum lookup instead of another pass over the cells.
+ * A snapshot embeds one draw of per-read sensing noise; building a
+ * new snapshot with a different read sequence redraws it.
+ */
+
+#ifndef SENTINELFLASH_NANDSIM_SNAPSHOT_HH
+#define SENTINELFLASH_NANDSIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nandsim/chip.hh"
+#include "util/histogram.hh"
+
+namespace flash::nand
+{
+
+/**
+ * Histogrammed sensing pass over a column range of one wordline.
+ */
+class WordlineSnapshot
+{
+  public:
+    /**
+     * Sense columns [col_begin, col_end) of the wordline with the
+     * given read-sequence number and build the histograms.
+     */
+    WordlineSnapshot(const Chip &chip, int block, int wl,
+                     std::uint64_t read_seq, int col_begin, int col_end);
+
+    /** Snapshot of the user-data region only. */
+    static WordlineSnapshot dataRegion(const Chip &chip, int block, int wl,
+                                       std::uint64_t read_seq);
+
+    /** Snapshot of the whole wordline (data + OOB). */
+    static WordlineSnapshot fullWordline(const Chip &chip, int block,
+                                         int wl, std::uint64_t read_seq);
+
+    /** Number of cells captured. */
+    std::uint64_t cells() const { return cells_; }
+
+    /** Number of captured cells whose true state is @p s. */
+    std::uint64_t cellsInState(int s) const;
+
+    /**
+     * Up errors of boundary @p k at threshold @p v: cells truly in
+     * state k-1 sensed above v (misread upward). Paper Fig 9.
+     */
+    std::uint64_t upErrors(int k, int v) const;
+
+    /**
+     * Down errors of boundary @p k at threshold @p v: cells truly in
+     * state k sensed at or below v (misread downward).
+     */
+    std::uint64_t downErrors(int k, int v) const;
+
+    /** Up + down errors of a boundary at a threshold. */
+    std::uint64_t boundaryErrors(int k, int v) const
+    {
+        return upErrors(k, v) + downErrors(k, v);
+    }
+
+    /**
+     * Exact misread-bit count of a page when read with the given
+     * voltage set (indexed by boundary, 1-based; only the page's
+     * boundaries are consulted). Counts every cell whose sensed
+     * region maps to the wrong bit, including multi-state shifts.
+     */
+    std::uint64_t pageErrors(int page, const std::vector<int> &voltages) const;
+
+    /** pageErrors() normalized by the number of cells. */
+    double pageRber(int page, const std::vector<int> &voltages) const;
+
+    /** Cells (any state) sensed with Vth in (lo, hi]. */
+    std::uint64_t cellsInVthRange(int lo, int hi) const;
+
+    /** Cells truly in state @p s sensed with Vth in (lo, hi]. */
+    std::uint64_t stateCellsInRange(int s, int lo, int hi) const;
+
+    /** Gray code of the captured chip. */
+    const GrayCode &grayCode() const { return *code_; }
+
+    /** Number of states. */
+    int states() const { return static_cast<int>(hist_.size()); }
+
+  private:
+    const GrayCode *code_;
+    std::vector<util::Histogram> hist_; // one per true state
+    std::uint64_t cells_ = 0;
+};
+
+} // namespace flash::nand
+
+#endif // SENTINELFLASH_NANDSIM_SNAPSHOT_HH

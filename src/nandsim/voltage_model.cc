@@ -1,0 +1,309 @@
+#include "nandsim/voltage_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace flash::nand
+{
+
+namespace
+{
+
+// Hash-stream salts keeping the different noise sources independent.
+constexpr std::uint64_t kSaltLayerRet = 0x6c61795265740001ULL;
+constexpr std::uint64_t kSaltLayerSigma = 0x6c61795369670002ULL;
+constexpr std::uint64_t kSaltWordline = 0x776c466163740003ULL;
+constexpr std::uint64_t kSaltGradSel = 0x677264536c630004ULL;
+constexpr std::uint64_t kSaltGradMag = 0x6772644d61670005ULL;
+constexpr std::uint64_t kSaltPhase = 0x7068617365000006ULL;
+
+std::vector<double>
+linearSensProfile(int states, double hi, double lo, double erase_sens)
+{
+    std::vector<double> sens(static_cast<std::size_t>(states));
+    sens[0] = erase_sens;
+    for (int s = 1; s < states; ++s) {
+        const double t = states > 2
+            ? static_cast<double>(s - 1) / static_cast<double>(states - 2)
+            : 0.0;
+        sens[static_cast<std::size_t>(s)] = hi + (lo - hi) * t;
+    }
+    return sens;
+}
+
+} // namespace
+
+VoltageModelParams
+tlcVoltageParams()
+{
+    VoltageModelParams p;
+    p.statePitch = 256.0;
+    p.eraseMean = -600.0;
+    p.eraseSigma0 = 120.0;
+    p.programSigma0 = 34.0;
+    p.retCoeff = 3.0;
+    p.retTau = 100.0;
+    p.peRetK = 3000.0;
+    p.sigmaPeCoeff = 4e-5;
+    p.sigmaRetCoeff = 0.03;
+    p.eraseSigmaPeCoeff = 1e-5;
+    p.eraseMeanPeCoeff = 0.006;
+    p.layerAmp = 0.22;
+    p.layerNoise = 0.09;
+    p.layerSigmaAmp = 0.05;
+    p.wlNoise = 0.09;
+    p.gradProb = 0.12;
+    p.gradMagLo = 10.0;
+    p.gradMagHi = 30.0;
+    p.gradBase = 1.5;
+    p.readNoiseSigma = 4.0;
+    p.tempTiltCoeff = 0.004;
+    p.readDisturbCoeff = 2e-5;
+    p.tailExtraCapDac = 52.0;
+    // Erase sens is negative: the erased state drifts slightly *up*
+    // with retention (charge gain / detrapping), which is what makes
+    // the optimal V1 track retention like the other boundaries.
+    p.stateSens = linearSensProfile(stateCount(CellType::TLC),
+                                    1.25, 0.45, -0.5);
+    return p;
+}
+
+VoltageModelParams
+qlcVoltageParams()
+{
+    VoltageModelParams p;
+    p.statePitch = 128.0;
+    p.eraseMean = -340.0;
+    p.eraseSigma0 = 70.0;
+    p.programSigma0 = 20.0;
+    p.retCoeff = 2.2;
+    p.retTau = 100.0;
+    p.peRetK = 3000.0;
+    p.sigmaPeCoeff = 4e-5;
+    p.sigmaRetCoeff = 0.03;
+    p.eraseSigmaPeCoeff = 1e-5;
+    p.eraseMeanPeCoeff = 0.004;
+    p.layerAmp = 0.22;
+    p.layerNoise = 0.09;
+    p.layerSigmaAmp = 0.05;
+    p.wlNoise = 0.09;
+    p.gradProb = 0.12;
+    p.gradMagLo = 6.0;
+    p.gradMagHi = 18.0;
+    p.gradBase = 0.8;
+    p.readNoiseSigma = 2.5;
+    p.tempTiltCoeff = 0.004;
+    p.readDisturbCoeff = 1e-5;
+    p.tailExtraCapDac = 26.0;
+    p.stateSens = linearSensProfile(stateCount(CellType::QLC),
+                                    1.30, 0.35, -0.5);
+    return p;
+}
+
+VoltageModel::VoltageModel(CellType type, VoltageModelParams params)
+    : type_(type), params_(std::move(params))
+{
+    util::fatalIf(static_cast<int>(params_.stateSens.size()) != states(),
+                  "VoltageModel: stateSens size must equal state count");
+}
+
+double
+VoltageModel::nominalMean(int state) const
+{
+    util::panicIf(state < 0 || state >= states(),
+                  "VoltageModel: state out of range");
+    if (state == 0)
+        return params_.eraseMean;
+    return params_.statePitch * static_cast<double>(state);
+}
+
+int
+VoltageModel::defaultVoltage(int k) const
+{
+    util::panicIf(k < 1 || k >= states(),
+                  "VoltageModel: boundary out of range");
+    // Vendor defaults are the fresh chip's distribution crossing
+    // point: sigma-weighted between the neighbouring states, which
+    // matters for V1 where the erase sigma is several times the
+    // programmed sigma.
+    const double s_lo =
+        k - 1 == 0 ? params_.eraseSigma0 : params_.programSigma0;
+    const double s_hi = params_.programSigma0;
+    const double x = (nominalMean(k - 1) * s_hi + nominalMean(k) * s_lo)
+        / (s_lo + s_hi);
+    return static_cast<int>(std::lround(x));
+}
+
+std::vector<int>
+VoltageModel::defaultVoltages() const
+{
+    std::vector<int> v(static_cast<std::size_t>(states()), 0);
+    for (int k = 1; k < states(); ++k)
+        v[static_cast<std::size_t>(k)] = defaultVoltage(k);
+    return v;
+}
+
+double
+VoltageModel::arrheniusFactor(double tempC) const
+{
+    const double t0 = 298.15;
+    const double t = tempC + 273.15;
+    return std::exp(params_.arrheniusEaOverK * (1.0 / t0 - 1.0 / t));
+}
+
+double
+VoltageModel::retentionShift(const BlockAge &age) const
+{
+    const double ret = std::log1p(age.effRetentionHours / params_.retTau);
+    const double wear = 1.0 + static_cast<double>(age.peCycles)
+        / params_.peRetK;
+    return params_.retCoeff * ret * wear;
+}
+
+double
+VoltageModel::stateSensitivity(int state, double retention_temp_c) const
+{
+    const double base = params_.stateSens[static_cast<std::size_t>(state)];
+    const int n = states() - 1;
+    const double center = static_cast<double>(state) / n - 0.5;
+    const double tilt =
+        1.0 + params_.tempTiltCoeff * center * (retention_temp_c - 25.0);
+    return base * (tilt > 0.05 ? tilt : 0.05);
+}
+
+double
+VoltageModel::layerRetentionFactor(std::uint64_t seed, int block,
+                                   int layer) const
+{
+    const double phase = util::toUnitUniform(util::hashWords(
+        {seed, kSaltPhase, static_cast<std::uint64_t>(block)}));
+    const double x = static_cast<double>(layer);
+    const double wave = std::sin(2.0 * M_PI * (x / 37.0 + phase))
+        + 0.5 * std::sin(2.0 * M_PI * (x / 11.0 + 2.0 * phase));
+    const double noise = util::toGaussian(util::hashWords(
+        {seed, kSaltLayerRet, static_cast<std::uint64_t>(block),
+         static_cast<std::uint64_t>(layer)}));
+    const double f =
+        1.0 + params_.layerAmp * wave / 1.5 + params_.layerNoise * noise;
+    return f > 0.3 ? f : 0.3;
+}
+
+double
+VoltageModel::layerSigmaFactor(std::uint64_t seed, int block,
+                               int layer) const
+{
+    const double noise = util::toGaussian(util::hashWords(
+        {seed, kSaltLayerSigma, static_cast<std::uint64_t>(block),
+         static_cast<std::uint64_t>(layer)}));
+    const double wave = std::sin(2.0 * M_PI * static_cast<double>(layer)
+                                 / 23.0);
+    const double f = 1.0 + 0.5 * params_.layerSigmaAmp * wave
+        + params_.layerSigmaAmp * noise;
+    return f > 0.5 ? f : 0.5;
+}
+
+double
+VoltageModel::wordlineFactor(std::uint64_t seed, int block,
+                             int wordline) const
+{
+    const double noise = util::toGaussian(util::hashWords(
+        {seed, kSaltWordline, static_cast<std::uint64_t>(block),
+         static_cast<std::uint64_t>(wordline)}));
+    const double f = 1.0 + params_.wlNoise * noise;
+    return f > 0.3 ? f : 0.3;
+}
+
+double
+VoltageModel::wordlineGradient(std::uint64_t seed, int block,
+                               int wordline) const
+{
+    const std::uint64_t sel = util::hashWords(
+        {seed, kSaltGradSel, static_cast<std::uint64_t>(block),
+         static_cast<std::uint64_t>(wordline)});
+    const std::uint64_t mag = util::hashWords(
+        {seed, kSaltGradMag, static_cast<std::uint64_t>(block),
+         static_cast<std::uint64_t>(wordline)});
+    if (util::toUnitUniform(sel) < params_.gradProb) {
+        const double u = util::toUnitUniform(mag);
+        const double magnitude =
+            params_.gradMagLo + (params_.gradMagHi - params_.gradMagLo) * u;
+        return (mag & 1) ? magnitude : -magnitude;
+    }
+    return params_.gradBase * util::toGaussian(mag);
+}
+
+double
+VoltageModel::stateMean(int state, const BlockAge &age,
+                        double ret_factor) const
+{
+    double mean = nominalMean(state);
+    mean -= retentionShift(age)
+        * stateSensitivity(state, age.retentionTempC) * ret_factor;
+    if (state == 0) {
+        mean += params_.eraseMeanPeCoeff * static_cast<double>(age.peCycles);
+        mean += params_.readDisturbCoeff
+            * static_cast<double>(age.readCount);
+    }
+    return mean;
+}
+
+double
+VoltageModel::stateTailMean(int state, const BlockAge &age,
+                            double ret_factor) const
+{
+    // Tail cells endure the same sources but lose charge faster.
+    const double core = stateMean(state, age, ret_factor);
+    // Fast-detrap cells lose their loosely-trapped charge quickly and
+    // then stop: the extra shift saturates at tailExtraCapDac.
+    double extra_shift = (params_.tailShiftMult - 1.0)
+        * retentionShift(age)
+        * stateSensitivity(state, age.retentionTempC) * ret_factor;
+    const double cap = params_.tailExtraCapDac;
+    if (extra_shift > cap)
+        extra_shift = cap;
+    if (extra_shift < -cap)
+        extra_shift = -cap;
+    return core - extra_shift;
+}
+
+double
+VoltageModel::stateTailSigma(int state, const BlockAge &age,
+                             double sigma_factor) const
+{
+    return params_.tailSigmaMult * stateSigma(state, age, sigma_factor);
+}
+
+double
+VoltageModel::stateSigma(int state, const BlockAge &age,
+                         double sigma_factor) const
+{
+    const double base =
+        state == 0 ? params_.eraseSigma0 : params_.programSigma0;
+    double growth = 1.0
+        + params_.sigmaPeCoeff * static_cast<double>(age.peCycles)
+        + params_.sigmaRetCoeff
+            * std::log1p(age.effRetentionHours / params_.retTau);
+    if (state == 0) {
+        growth += params_.eraseSigmaPeCoeff
+            * static_cast<double>(age.peCycles);
+    }
+    return base * growth * sigma_factor;
+}
+
+int
+VoltageModel::vthMin() const
+{
+    return static_cast<int>(params_.eraseMean - 8.0 * params_.eraseSigma0
+                            - 200.0);
+}
+
+int
+VoltageModel::vthMax() const
+{
+    return static_cast<int>(nominalMean(states() - 1)
+                            + 10.0 * params_.programSigma0 + 200.0);
+}
+
+} // namespace flash::nand

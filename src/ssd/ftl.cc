@@ -1,0 +1,195 @@
+#include "ssd/ftl.hh"
+
+#include <algorithm>
+
+namespace flash::ssd
+{
+
+Ftl::Ftl(const SsdConfig &config, bool precondition)
+    : config_(config), logicalPages_(config.logicalPages())
+{
+    config_.validate();
+    map_.assign(static_cast<std::size_t>(logicalPages_), -1);
+
+    planes_.resize(static_cast<std::size_t>(config_.totalPlanes()));
+    for (auto &plane : planes_) {
+        plane.blocks.resize(static_cast<std::size_t>(config_.blocksPerPlane));
+        for (auto &blk : plane.blocks) {
+            blk.owner.assign(static_cast<std::size_t>(config_.pagesPerBlock),
+                             -1);
+        }
+        plane.freeList.reserve(
+            static_cast<std::size_t>(config_.blocksPerPlane));
+        for (int b = config_.blocksPerPlane - 1; b >= 0; --b)
+            plane.freeList.push_back(b);
+    }
+
+    if (precondition) {
+        // Sequentially map the whole logical space (a full drive).
+        // Bypass the stats so preconditioning isn't counted as host
+        // traffic.
+        for (std::int64_t lpn = 0; lpn < logicalPages_; ++lpn) {
+            WriteEffect effect;
+            const int plane = static_cast<int>(
+                writeCursor_++ % static_cast<std::uint64_t>(
+                    config_.totalPlanes()));
+            const PhysAddr addr = allocate(plane, effect);
+            auto &blk = planes_[static_cast<std::size_t>(addr.plane)]
+                            .blocks[static_cast<std::size_t>(addr.block)];
+            blk.owner[static_cast<std::size_t>(addr.page)] = lpn;
+            ++blk.validPages;
+            map_[static_cast<std::size_t>(lpn)] = pack(addr);
+        }
+        stats_ = FtlStats{};
+    }
+}
+
+PhysAddr
+Ftl::translate(std::int64_t lpn) const
+{
+    util::fatalIf(lpn < 0 || lpn >= logicalPages_,
+                  "ftl: logical page out of range");
+    const std::int64_t packed = map_[static_cast<std::size_t>(lpn)];
+    if (packed < 0)
+        return {};
+    return unpack(packed);
+}
+
+int
+Ftl::freeBlocks(int plane) const
+{
+    util::fatalIf(plane < 0 || plane >= config_.totalPlanes(),
+                  "ftl: plane out of range");
+    return static_cast<int>(
+        planes_[static_cast<std::size_t>(plane)].freeList.size());
+}
+
+void
+Ftl::invalidate(const PhysAddr &addr)
+{
+    auto &blk = planes_[static_cast<std::size_t>(addr.plane)]
+                    .blocks[static_cast<std::size_t>(addr.block)];
+    if (blk.owner[static_cast<std::size_t>(addr.page)] >= 0) {
+        blk.owner[static_cast<std::size_t>(addr.page)] = -1;
+        --blk.validPages;
+    }
+}
+
+PhysAddr
+Ftl::allocate(int plane_idx, WriteEffect &effect)
+{
+    auto &plane = planes_[static_cast<std::size_t>(plane_idx)];
+
+    if (plane.activeBlock < 0
+        || plane.blocks[static_cast<std::size_t>(plane.activeBlock)].full(
+            config_.pagesPerBlock)) {
+        if (plane.freeList.empty())
+            collectGarbage(plane_idx, effect);
+        util::fatalIf(plane.freeList.empty(),
+                      "ftl: no free block after GC (drive overfull)");
+        plane.activeBlock = plane.freeList.back();
+        plane.freeList.pop_back();
+    } else {
+        // GC ahead of demand when the plane is running low.
+        const double free_frac =
+            static_cast<double>(plane.freeList.size())
+            / static_cast<double>(config_.blocksPerPlane);
+        if (free_frac < config_.gcThreshold)
+            collectGarbage(plane_idx, effect);
+    }
+
+    auto &blk = plane.blocks[static_cast<std::size_t>(plane.activeBlock)];
+    PhysAddr addr;
+    addr.plane = plane_idx;
+    addr.block = plane.activeBlock;
+    addr.page = blk.nextPage++;
+    return addr;
+}
+
+void
+Ftl::collectGarbage(int plane_idx, WriteEffect &effect)
+{
+    auto &plane = planes_[static_cast<std::size_t>(plane_idx)];
+
+    // Greedy victim selection: fewest valid pages, excluding the
+    // active block and blocks that are not yet full.
+    int victim = -1;
+    int victim_valid = config_.pagesPerBlock + 1;
+    for (int b = 0; b < config_.blocksPerPlane; ++b) {
+        if (b == plane.activeBlock)
+            continue;
+        const auto &blk = plane.blocks[static_cast<std::size_t>(b)];
+        if (!blk.full(config_.pagesPerBlock))
+            continue;
+        if (blk.validPages < victim_valid) {
+            victim = b;
+            victim_valid = blk.validPages;
+        }
+    }
+    if (victim < 0)
+        return;
+
+    auto &vblk = plane.blocks[static_cast<std::size_t>(victim)];
+
+    // Migrate valid pages into the plane's free space. Use a scratch
+    // destination block taken from the free list first so migration
+    // cannot recurse into GC.
+    std::vector<std::int64_t> movers;
+    for (int p = 0; p < config_.pagesPerBlock; ++p) {
+        const std::int64_t lpn = vblk.owner[static_cast<std::size_t>(p)];
+        if (lpn >= 0)
+            movers.push_back(lpn);
+    }
+
+    // Erase the victim.
+    vblk.owner.assign(static_cast<std::size_t>(config_.pagesPerBlock), -1);
+    vblk.nextPage = 0;
+    vblk.validPages = 0;
+    plane.freeList.push_back(victim);
+    ++stats_.gcRuns;
+    ++stats_.erases;
+    ++effect.gcErases;
+    effect.gcTriggered = true;
+
+    // Re-home the movers (within this plane).
+    for (std::int64_t lpn : movers) {
+        WriteEffect sub;
+        const PhysAddr addr = allocate(plane_idx, sub);
+        // Propagate any nested GC effects into the caller's effect.
+        effect.gcMigratedPages += sub.gcMigratedPages;
+        effect.gcErases += sub.gcErases;
+        auto &blk = planes_[static_cast<std::size_t>(addr.plane)]
+                        .blocks[static_cast<std::size_t>(addr.block)];
+        blk.owner[static_cast<std::size_t>(addr.page)] = lpn;
+        ++blk.validPages;
+        map_[static_cast<std::size_t>(lpn)] = pack(addr);
+        ++stats_.migratedPages;
+        ++effect.gcMigratedPages;
+    }
+}
+
+WriteEffect
+Ftl::write(std::int64_t lpn)
+{
+    util::fatalIf(lpn < 0 || lpn >= logicalPages_,
+                  "ftl: logical page out of range");
+
+    WriteEffect effect;
+    const std::int64_t old = map_[static_cast<std::size_t>(lpn)];
+    if (old >= 0)
+        invalidate(unpack(old));
+
+    const int plane = static_cast<int>(
+        writeCursor_++ % static_cast<std::uint64_t>(config_.totalPlanes()));
+    const PhysAddr addr = allocate(plane, effect);
+    auto &blk = planes_[static_cast<std::size_t>(addr.plane)]
+                    .blocks[static_cast<std::size_t>(addr.block)];
+    blk.owner[static_cast<std::size_t>(addr.page)] = lpn;
+    ++blk.validPages;
+    map_[static_cast<std::size_t>(lpn)] = pack(addr);
+    effect.target = addr;
+    ++stats_.hostWrites;
+    return effect;
+}
+
+} // namespace flash::ssd

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Page-mapping FTL with dynamic allocation and greedy GC.
+ *
+ * Logical pages map to arbitrary physical pages; writes stripe
+ * round-robin over planes into per-plane active blocks; when a
+ * plane runs out of free blocks the block with the fewest valid
+ * pages is garbage-collected (valid pages migrate, block erased).
+ */
+
+#ifndef SENTINELFLASH_SSD_FTL_HH
+#define SENTINELFLASH_SSD_FTL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ssd/config.hh"
+
+namespace flash::ssd
+{
+
+/** Physical location of a page. */
+struct PhysAddr
+{
+    int plane = -1;  ///< global plane index
+    int block = -1;  ///< block within the plane
+    int page = -1;   ///< page within the block
+
+    bool valid() const { return plane >= 0; }
+};
+
+/** Side effects of one logical-page write (for the timing model). */
+struct WriteEffect
+{
+    PhysAddr target;
+    bool gcTriggered = false;
+    int gcMigratedPages = 0; ///< valid pages moved by the GC
+    int gcErases = 0;        ///< blocks erased by the GC
+};
+
+/** FTL bookkeeping counters. */
+struct FtlStats
+{
+    std::uint64_t hostWrites = 0;
+    std::uint64_t gcRuns = 0;
+    std::uint64_t migratedPages = 0;
+    std::uint64_t erases = 0;
+
+    /** Write amplification factor. */
+    double
+    waf() const
+    {
+        return hostWrites
+            ? 1.0 + static_cast<double>(migratedPages)
+                / static_cast<double>(hostWrites)
+            : 1.0;
+    }
+};
+
+/**
+ * Page-mapping flash translation layer.
+ */
+class Ftl
+{
+  public:
+    /**
+     * @param precondition When true, every logical page is mapped
+     *        sequentially up front (a full drive), so reads always
+     *        hit mapped pages and GC pressure is realistic.
+     */
+    explicit Ftl(const SsdConfig &config, bool precondition = true);
+
+    /** Physical location of a logical page (invalid when unmapped). */
+    PhysAddr translate(std::int64_t lpn) const;
+
+    /** Write (or overwrite) a logical page. */
+    WriteEffect write(std::int64_t lpn);
+
+    /** Number of logical pages exported. */
+    std::int64_t logicalPages() const { return logicalPages_; }
+
+    /** Counters. */
+    const FtlStats &stats() const { return stats_; }
+
+    /** Free blocks currently available in a plane. */
+    int freeBlocks(int plane) const;
+
+  private:
+    struct Block
+    {
+        std::vector<std::int64_t> owner; ///< lpn per page (-1 invalid)
+        int nextPage = 0;
+        int validPages = 0;
+
+        bool full(int pages_per_block) const
+        {
+            return nextPage >= pages_per_block;
+        }
+    };
+
+    struct Plane
+    {
+        std::vector<Block> blocks;
+        std::vector<int> freeList;
+        int activeBlock = -1;
+    };
+
+    PhysAddr allocate(int plane_idx, WriteEffect &effect);
+    void collectGarbage(int plane_idx, WriteEffect &effect);
+    void invalidate(const PhysAddr &addr);
+
+    SsdConfig config_;
+    std::int64_t logicalPages_;
+    std::vector<std::int64_t> map_; ///< lpn -> packed phys page (-1)
+    std::vector<Plane> planes_;
+    FtlStats stats_;
+    std::uint64_t writeCursor_ = 0;
+
+    std::int64_t
+    pack(const PhysAddr &a) const
+    {
+        return (static_cast<std::int64_t>(a.plane) * config_.blocksPerPlane
+                + a.block)
+            * config_.pagesPerBlock
+            + a.page;
+    }
+
+    PhysAddr
+    unpack(std::int64_t packed) const
+    {
+        PhysAddr a;
+        a.page = static_cast<int>(packed % config_.pagesPerBlock);
+        const std::int64_t rest = packed / config_.pagesPerBlock;
+        a.block = static_cast<int>(rest % config_.blocksPerPlane);
+        a.plane = static_cast<int>(rest / config_.blocksPerPlane);
+        return a;
+    }
+};
+
+} // namespace flash::ssd
+
+#endif // SENTINELFLASH_SSD_FTL_HH

@@ -1,0 +1,61 @@
+#include "ssd/read_cost.hh"
+
+#include "util/logging.hh"
+
+namespace flash::ssd
+{
+
+EmpiricalReadCost::EmpiricalReadCost(std::string policy_name,
+                                     std::vector<ReadCost> samples)
+    : name_(std::move(policy_name)), samples_(std::move(samples))
+{
+    util::fatalIf(samples_.empty(), "EmpiricalReadCost: no samples");
+}
+
+ReadCost
+EmpiricalReadCost::sample(util::Rng &rng)
+{
+    return samples_[rng.uniformInt(samples_.size())];
+}
+
+double
+EmpiricalReadCost::meanSenseOps() const
+{
+    double acc = 0.0;
+    for (const auto &s : samples_)
+        acc += s.senseOps;
+    return acc / static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalReadCost::meanRetries() const
+{
+    double acc = 0.0;
+    for (const auto &s : samples_)
+        acc += s.attempts - 1;
+    return acc / static_cast<double>(samples_.size());
+}
+
+EmpiricalReadCost
+measureReadCost(const nand::Chip &chip, int block, core::ReadPolicy &policy,
+                const ecc::EccModel &ecc_model,
+                const std::optional<nand::SentinelOverlay> &overlay,
+                int page, int wl_stride)
+{
+    std::vector<ReadCost> samples;
+    const int pages = chip.geometry().pagesPerWordline();
+    for (int wl = 0; wl < chip.geometry().wordlinesPerBlock();
+         wl += wl_stride) {
+        const int p = page >= 0 ? page : (wl / wl_stride) % pages;
+        core::ReadContext ctx(chip, block, wl, p, ecc_model, overlay);
+        const core::ReadSessionResult s = policy.read(ctx);
+        ReadCost c;
+        c.attempts = s.attempts;
+        c.senseOps = s.senseOps;
+        c.assistReads = s.assistReads;
+        samples.push_back(c);
+    }
+    return EmpiricalReadCost(policy.name(), std::move(samples));
+}
+
+} // namespace flash::ssd

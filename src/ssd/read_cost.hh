@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-read retry-cost sources for the SSD simulator.
+ *
+ * The SSD simulator needs to know, for every page read, how many
+ * sense operations and decode attempts the controller's read policy
+ * spends. The costs are sampled from empirical distributions gathered
+ * by running a policy over an aged block of the chip model — exactly
+ * how the paper plugs chip measurements into SSDSim.
+ */
+
+#ifndef SENTINELFLASH_SSD_READ_COST_HH
+#define SENTINELFLASH_SSD_READ_COST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "util/rng.hh"
+
+namespace flash::ssd
+{
+
+/** Cost of one page-read session. */
+struct ReadCost
+{
+    int attempts = 1;    ///< page-read attempts (incl. first)
+    int senseOps = 1;    ///< total read-voltage applications
+    int assistReads = 0; ///< single-voltage sentinel-assist reads
+};
+
+/** Source of per-read costs. */
+class ReadCostSource
+{
+  public:
+    virtual ~ReadCostSource() = default;
+
+    /** Name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Cost of the next page read. */
+    virtual ReadCost sample(util::Rng &rng) = 0;
+};
+
+/** Fixed cost: every read succeeds first try (fresh-chip behaviour). */
+class FixedReadCost : public ReadCostSource
+{
+  public:
+    explicit FixedReadCost(int sense_ops) : cost_{1, sense_ops, 0} {}
+
+    std::string name() const override { return "fixed"; }
+    ReadCost sample(util::Rng &) override { return cost_; }
+
+  private:
+    ReadCost cost_;
+};
+
+/**
+ * Empirical cost distribution built from per-wordline policy results.
+ */
+class EmpiricalReadCost : public ReadCostSource
+{
+  public:
+    EmpiricalReadCost(std::string policy_name, std::vector<ReadCost> samples);
+
+    std::string name() const override { return name_; }
+    ReadCost sample(util::Rng &rng) override;
+
+    /** Mean sense operations per read. */
+    double meanSenseOps() const;
+
+    /** Mean retries per read. */
+    double meanRetries() const;
+
+  private:
+    std::string name_;
+    std::vector<ReadCost> samples_;
+};
+
+/**
+ * Build an empirical cost source by running @p policy on one page of
+ * every sampled wordline of a block (see core::evaluateBlock).
+ *
+ * @param page Page to exercise; -1 cycles through all pages of the
+ *        wordline, weighting costs the way host reads land on pages.
+ */
+EmpiricalReadCost measureReadCost(const nand::Chip &chip, int block,
+                                  core::ReadPolicy &policy,
+                                  const ecc::EccModel &ecc_model,
+                                  const std::optional<nand::SentinelOverlay>
+                                      &overlay,
+                                  int page = -1, int wl_stride = 4);
+
+} // namespace flash::ssd
+
+#endif // SENTINELFLASH_SSD_READ_COST_HH

@@ -1,0 +1,122 @@
+#include "ssd/ssd_sim.hh"
+
+#include <algorithm>
+
+namespace flash::ssd
+{
+
+SsdSim::SsdSim(const SsdConfig &config, const SsdTiming &timing,
+               ReadCostSource &read_cost, std::uint64_t seed)
+    : config_(config), timing_(timing), readCost_(&read_cost),
+      rng_(seed ^ util::mix64(0x73736473696dULL)), ftl_(config)
+{
+    planeFree_.assign(static_cast<std::size_t>(config_.totalPlanes()), 0.0);
+    channelFree_.assign(static_cast<std::size_t>(config_.channels), 0.0);
+}
+
+int
+SsdSim::channelOf(int plane) const
+{
+    const int planes_per_channel = config_.chipsPerChannel
+        * config_.diesPerChip * config_.planesPerDie;
+    return plane / planes_per_channel;
+}
+
+double
+SsdSim::readPageOp(double arrival, int plane)
+{
+    const ReadCost cost = readCost_->sample(rng_);
+    const double flash_us =
+        (cost.attempts + cost.assistReads)
+            * (timing_.readBaseUs + timing_.decodeUs)
+        + cost.senseOps * timing_.senseUs;
+
+    const double start =
+        std::max(arrival, planeFree_[static_cast<std::size_t>(plane)]);
+    const double flash_done = start + flash_us;
+    planeFree_[static_cast<std::size_t>(plane)] = flash_done;
+
+    const int ch = channelOf(plane);
+    const double bus_start =
+        std::max(flash_done, channelFree_[static_cast<std::size_t>(ch)]);
+    const double done =
+        bus_start + config_.pageKb * timing_.transferUsPerKb;
+    channelFree_[static_cast<std::size_t>(ch)] = done;
+    return done;
+}
+
+double
+SsdSim::writePageOp(double arrival, std::int64_t lpn)
+{
+    const WriteEffect effect = ftl_.write(lpn);
+    const int plane = effect.target.plane;
+    const int ch = channelOf(plane);
+
+    // Transfer the data to the chip, then program; GC work (valid
+    // page moves and erases) occupies the plane first.
+    const double bus_start =
+        std::max(arrival, channelFree_[static_cast<std::size_t>(ch)]);
+    const double bus_done =
+        bus_start + config_.pageKb * timing_.transferUsPerKb;
+    channelFree_[static_cast<std::size_t>(ch)] = bus_done;
+
+    double gc_us = 0.0;
+    if (effect.gcTriggered) {
+        gc_us = effect.gcMigratedPages
+                * (timing_.readBaseUs + timing_.senseUs + timing_.programUs)
+            + effect.gcErases * timing_.eraseUs;
+    }
+
+    const double start = std::max(
+        bus_done, planeFree_[static_cast<std::size_t>(plane)]);
+    const double done = start + gc_us + timing_.programUs;
+    planeFree_[static_cast<std::size_t>(plane)] = done;
+    return done;
+}
+
+SimReport
+SsdSim::run(const std::vector<trace::TraceRecord> &trace)
+{
+    SimReport report;
+    report.policy = readCost_->name();
+
+    const std::int64_t page_bytes =
+        static_cast<std::int64_t>(config_.pageKb) * 1024;
+    const std::int64_t logical_pages = ftl_.logicalPages();
+
+    for (const auto &req : trace) {
+        const std::int64_t first =
+            static_cast<std::int64_t>(req.offsetBytes) / page_bytes;
+        const std::int64_t last =
+            (static_cast<std::int64_t>(req.offsetBytes) + req.sizeBytes
+             + page_bytes - 1)
+            / page_bytes;
+
+        double done = req.timestampUs;
+        for (std::int64_t p = first; p < last; ++p) {
+            const std::int64_t lpn = p % logical_pages;
+            double page_done;
+            if (req.isRead) {
+                const PhysAddr addr = ftl_.translate(lpn);
+                page_done = readPageOp(req.timestampUs, addr.plane);
+                ++report.pageReads;
+            } else {
+                page_done = writePageOp(req.timestampUs, lpn);
+                ++report.pageWrites;
+            }
+            done = std::max(done, page_done);
+        }
+
+        const double latency = done - req.timestampUs;
+        if (req.isRead) {
+            report.readLatencyUs.add(latency);
+            report.readLatencies.push_back(latency);
+        } else {
+            report.writeLatencyUs.add(latency);
+        }
+    }
+    report.ftl = ftl_.stats();
+    return report;
+}
+
+} // namespace flash::ssd

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trace-driven SSD simulator (SSDSim-style).
+ *
+ * Requests split into page operations; each plane and each channel is
+ * a FIFO resource with a next-free time, so queueing delay emerges
+ * from contention. Read flash time depends on the read policy's
+ * per-read cost (attempts / sense ops / assist reads) sampled from an
+ * empirical distribution measured on the chip model.
+ */
+
+#ifndef SENTINELFLASH_SSD_SSD_SIM_HH
+#define SENTINELFLASH_SSD_SSD_SIM_HH
+
+#include <string>
+#include <vector>
+
+#include "ssd/config.hh"
+#include "ssd/ftl.hh"
+#include "ssd/read_cost.hh"
+#include "trace/trace.hh"
+#include "util/stats.hh"
+
+namespace flash::ssd
+{
+
+/** Results of one trace replay. */
+struct SimReport
+{
+    std::string policy;
+    util::RunningStats readLatencyUs;
+    util::RunningStats writeLatencyUs;
+    std::vector<double> readLatencies; ///< per request, for percentiles
+    FtlStats ftl;
+    std::uint64_t pageReads = 0;
+    std::uint64_t pageWrites = 0;
+};
+
+/**
+ * The simulator. One instance replays one trace; construct a fresh
+ * one per run (the FTL state is part of the run).
+ */
+class SsdSim
+{
+  public:
+    SsdSim(const SsdConfig &config, const SsdTiming &timing,
+           ReadCostSource &read_cost, std::uint64_t seed);
+
+    /** Replay a trace and report latencies. */
+    SimReport run(const std::vector<trace::TraceRecord> &trace);
+
+  private:
+    /** Channel of a global plane index. */
+    int channelOf(int plane) const;
+
+    double readPageOp(double arrival, int plane);
+    double writePageOp(double arrival, std::int64_t lpn);
+
+    SsdConfig config_;
+    SsdTiming timing_;
+    ReadCostSource *readCost_;
+    util::Rng rng_;
+    Ftl ftl_;
+
+    std::vector<double> planeFree_;
+    std::vector<double> channelFree_;
+};
+
+} // namespace flash::ssd
+
+#endif // SENTINELFLASH_SSD_SSD_SIM_HH

@@ -1,0 +1,100 @@
+#include "trace/msr_workloads.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace flash::trace
+{
+
+std::vector<WorkloadSpec>
+msrWorkloads()
+{
+    // Parameters follow the published characteristics of the MSR
+    // Cambridge volumes: read ratio and intensity from Narayanan et
+    // al. (EuroSys'09); sizes/sequentiality are representative.
+    //   name     read   kb    seq   ws(MB)  inter(us) hot%  hotAcc
+    return {
+        {"hm_0",    0.35, 8.0,  0.20, 4096.0, 600.0, 0.15, 0.85},
+        {"mds_0",   0.12, 12.0, 0.35, 8192.0, 900.0, 0.20, 0.80},
+        {"prn_0",   0.11, 16.0, 0.30, 16384.0, 700.0, 0.25, 0.75},
+        {"proj_0",  0.12, 24.0, 0.45, 16384.0, 500.0, 0.20, 0.80},
+        {"rsrch_0", 0.09, 8.0,  0.15, 2048.0, 1100.0, 0.15, 0.85},
+        {"src1_2",  0.25, 32.0, 0.50, 8192.0, 400.0, 0.20, 0.80},
+        {"stg_0",   0.15, 12.0, 0.30, 8192.0, 800.0, 0.20, 0.80},
+        {"usr_0",   0.60, 16.0, 0.25, 16384.0, 450.0, 0.25, 0.85},
+    };
+}
+
+WorkloadSpec
+msrWorkload(const std::string &name)
+{
+    for (const auto &w : msrWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    util::fatal("unknown MSR-like workload: " + name);
+}
+
+std::vector<TraceRecord>
+generateTrace(const WorkloadSpec &spec, std::size_t requests,
+              std::uint64_t seed)
+{
+    util::fatalIf(spec.readRatio < 0.0 || spec.readRatio > 1.0,
+                  "generateTrace: bad read ratio");
+    util::Rng rng(seed ^ util::mix64(0x7472616365ULL));
+
+    constexpr std::uint64_t kAlign = 4096;
+    const std::uint64_t footprint =
+        static_cast<std::uint64_t>(spec.workingSetMb * 1024.0 * 1024.0)
+        / kAlign * kAlign;
+    const std::uint64_t hot_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(footprint) * spec.hotDataFrac)
+        / kAlign * kAlign;
+
+    std::vector<TraceRecord> out;
+    out.reserve(requests);
+
+    double now_us = 0.0;
+    std::uint64_t run_offset = 0;
+    bool run_read = true;
+    for (std::size_t i = 0; i < requests; ++i) {
+        now_us += rng.exponential(spec.meanInterarrivalUs);
+
+        // Request size: lognormal-ish around the mean, aligned.
+        const double kb =
+            spec.meanReqKb * std::exp(rng.gaussian() * 0.6 - 0.18);
+        std::uint32_t size = static_cast<std::uint32_t>(
+            std::max(1.0, std::round(kb * 1024.0 / kAlign)) * kAlign);
+
+        TraceRecord r;
+        r.timestampUs = now_us;
+        r.sizeBytes = size;
+        if (i > 0 && rng.bernoulli(spec.seqProb)) {
+            // Continue the current sequential run.
+            r.isRead = run_read;
+            r.offsetBytes = run_offset;
+        } else {
+            r.isRead = rng.bernoulli(spec.readRatio);
+            const bool hot = rng.bernoulli(spec.hotAccessFrac);
+            const std::uint64_t region =
+                hot ? hot_bytes : footprint - hot_bytes;
+            const std::uint64_t base = hot ? 0 : hot_bytes;
+            std::uint64_t off =
+                base + rng.uniformInt(std::max<std::uint64_t>(
+                           1, region / kAlign)) * kAlign;
+            if (off + size > footprint)
+                off = footprint > size ? footprint - size : 0;
+            r.offsetBytes = off;
+            run_read = r.isRead;
+        }
+        run_offset = r.offsetBytes + r.sizeBytes;
+        if (run_offset + size > footprint)
+            run_offset = 0;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace flash::trace

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic MSR-Cambridge-like workload generator.
+ *
+ * The paper replays eight MSR Cambridge server traces through SSDSim
+ * (Fig 14). The raw traces are not redistributable here, so this
+ * generator synthesizes traces whose first-order statistics —
+ * read/write mix, request sizes, sequentiality, working-set size and
+ * arrival intensity — follow the published characteristics of the
+ * corresponding servers. The latency-reduction experiment depends on
+ * exactly these properties (how many reads, how hot the queues are),
+ * which the synthesis preserves.
+ */
+
+#ifndef SENTINELFLASH_TRACE_MSR_WORKLOADS_HH
+#define SENTINELFLASH_TRACE_MSR_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace flash::trace
+{
+
+/** First-order workload parameters. */
+struct WorkloadSpec
+{
+    std::string name;
+    double readRatio = 0.5;        ///< fraction of read requests
+    double meanReqKb = 16.0;       ///< mean request size
+    double seqProb = 0.3;          ///< P(next request continues a run)
+    double workingSetMb = 2048.0;  ///< footprint of the address space
+    double meanInterarrivalUs = 500.0;
+    double hotDataFrac = 0.2;      ///< fraction of footprint that is hot
+    double hotAccessFrac = 0.8;    ///< fraction of accesses to hot data
+};
+
+/**
+ * The eight MSR-like server workloads used by the Fig 14 experiment
+ * (hm_0, mds_0, prn_0, proj_0, rsrch_0, src1_2, stg_0, usr_0).
+ */
+std::vector<WorkloadSpec> msrWorkloads();
+
+/** Look up one workload spec by name (fatal if unknown). */
+WorkloadSpec msrWorkload(const std::string &name);
+
+/**
+ * Generate @p requests records following a spec. Deterministic in the
+ * seed.
+ */
+std::vector<TraceRecord> generateTrace(const WorkloadSpec &spec,
+                                       std::size_t requests,
+                                       std::uint64_t seed);
+
+} // namespace flash::trace
+
+#endif // SENTINELFLASH_TRACE_MSR_WORKLOADS_HH

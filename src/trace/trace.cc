@@ -1,0 +1,26 @@
+#include "trace/trace.hh"
+
+namespace flash::trace
+{
+
+TraceStats
+analyzeTrace(const std::vector<TraceRecord> &trace)
+{
+    TraceStats s;
+    s.requests = trace.size();
+    double size_sum = 0.0;
+    for (const auto &r : trace) {
+        s.reads += r.isRead;
+        size_sum += r.sizeBytes;
+    }
+    if (!trace.empty()) {
+        s.readRatio = static_cast<double>(s.reads)
+            / static_cast<double>(s.requests);
+        s.meanSizeKb = size_sum / static_cast<double>(s.requests) / 1024.0;
+        s.durationUs =
+            trace.back().timestampUs - trace.front().timestampUs;
+    }
+    return s;
+}
+
+} // namespace flash::trace

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Block-level I/O trace records (MSR Cambridge style).
+ */
+
+#ifndef SENTINELFLASH_TRACE_TRACE_HH
+#define SENTINELFLASH_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace flash::trace
+{
+
+/** One block-level I/O request. */
+struct TraceRecord
+{
+    double timestampUs = 0.0;  ///< arrival time
+    std::uint64_t offsetBytes = 0;
+    std::uint32_t sizeBytes = 0;
+    bool isRead = true;
+};
+
+/** Simple whole-trace statistics. */
+struct TraceStats
+{
+    std::size_t requests = 0;
+    std::size_t reads = 0;
+    double readRatio = 0.0;
+    double meanSizeKb = 0.0;
+    double durationUs = 0.0;
+};
+
+/** Compute summary statistics of a trace. */
+TraceStats analyzeTrace(const std::vector<TraceRecord> &trace);
+
+} // namespace flash::trace
+
+#endif // SENTINELFLASH_TRACE_TRACE_HH

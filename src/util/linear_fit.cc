@@ -1,0 +1,52 @@
+#include "util/linear_fit.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace flash::util
+{
+
+LinearFit
+linearFit(const std::vector<double> &x, const std::vector<double> &y)
+{
+    fatalIf(x.size() != y.size(), "linearFit: size mismatch");
+    fatalIf(x.size() < 2, "linearFit: need at least two samples");
+
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    fatalIf(sxx < 1e-12, "linearFit: degenerate x values");
+
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.n = x.size();
+    if (syy > 1e-12) {
+        double ss_res = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double r = y[i] - fit(x[i]);
+            ss_res += r * r;
+        }
+        fit.r2 = 1.0 - ss_res / syy;
+    } else {
+        fit.r2 = 1.0;
+    }
+    return fit;
+}
+
+} // namespace flash::util

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ordinary least-squares line fitting.
+ *
+ * The cross-voltage correlation model (paper Fig 8) is a per-voltage
+ * linear map from the optimal sentinel-voltage offset to every other
+ * optimal read-voltage offset.
+ */
+
+#ifndef SENTINELFLASH_UTIL_LINEAR_FIT_HH
+#define SENTINELFLASH_UTIL_LINEAR_FIT_HH
+
+#include <vector>
+
+namespace flash::util
+{
+
+/** Result of an OLS fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination of the fit. */
+    double r2 = 0.0;
+    /** Number of samples used. */
+    std::size_t n = 0;
+
+    /** Predict y for a given x. */
+    double operator()(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Fit y = slope * x + intercept by ordinary least squares.
+ * Requires at least two samples with non-degenerate x.
+ */
+LinearFit linearFit(const std::vector<double> &x,
+                    const std::vector<double> &y);
+
+} // namespace flash::util
+
+#endif // SENTINELFLASH_UTIL_LINEAR_FIT_HH

@@ -1,0 +1,32 @@
+#include "util/logging.hh"
+
+#include <iostream>
+
+namespace flash::util
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << '\n';
+}
+
+void
+inform(const std::string &msg)
+{
+    std::cerr << "info: " << msg << '\n';
+}
+
+} // namespace flash::util

@@ -1,0 +1,112 @@
+#include "util/polyfit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace flash::util
+{
+
+double
+Polynomial::operator()(double x) const
+{
+    if (coeffs_.empty())
+        return 0.0;
+    const double xs = (x - xShift_) * xScale_;
+    double acc = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;)
+        acc = acc * xs + coeffs_[i];
+    return acc;
+}
+
+namespace
+{
+
+/**
+ * Solve the dense linear system a * x = b in place with partial
+ * pivoting. Sizes are tiny (degree+1), so O(n^3) is irrelevant.
+ */
+std::vector<double>
+solveLinear(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        fatalIf(std::fabs(a[pivot][col]) < 1e-12,
+                "polyfit: singular normal equations (degenerate inputs)");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double f = a[row][col] / a[col][col];
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= f * a[col][k];
+            b[row] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t row = n; row-- > 0;) {
+        double acc = b[row];
+        for (std::size_t k = row + 1; k < n; ++k)
+            acc -= a[row][k] * x[k];
+        x[row] = acc / a[row][row];
+    }
+    return x;
+}
+
+} // namespace
+
+Polynomial
+polyfit(const std::vector<double> &x, const std::vector<double> &y,
+        std::size_t degree)
+{
+    fatalIf(x.size() != y.size(), "polyfit: size mismatch");
+    fatalIf(x.size() < degree + 1, "polyfit: not enough samples");
+
+    // Normalize x into roughly [-1, 1] for conditioning.
+    const auto [min_it, max_it] = std::minmax_element(x.begin(), x.end());
+    const double shift = 0.5 * (*min_it + *max_it);
+    const double half = 0.5 * (*max_it - *min_it);
+    const double scale = half > 1e-12 ? 1.0 / half : 1.0;
+
+    const std::size_t n = degree + 1;
+    std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0.0));
+    std::vector<double> atb(n, 0.0);
+
+    std::vector<double> powers(2 * degree + 1);
+    for (std::size_t s = 0; s < x.size(); ++s) {
+        const double xs = (x[s] - shift) * scale;
+        powers[0] = 1.0;
+        for (std::size_t p = 1; p < powers.size(); ++p)
+            powers[p] = powers[p - 1] * xs;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j)
+                ata[i][j] += powers[i + j];
+            atb[i] += powers[i] * y[s];
+        }
+    }
+
+    return Polynomial(solveLinear(std::move(ata), std::move(atb)), shift,
+                      scale);
+}
+
+double
+polyfitRmse(const Polynomial &p, const std::vector<double> &x,
+            const std::vector<double> &y)
+{
+    fatalIf(x.size() != y.size(), "polyfitRmse: size mismatch");
+    if (x.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double r = p(x[i]) - y[i];
+        acc += r * r;
+    }
+    return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+} // namespace flash::util

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Least-squares polynomial fitting.
+ *
+ * The factory characterization fits a degree-5 polynomial mapping the
+ * sentinel error-difference rate to the optimal read-voltage offset,
+ * exactly as the paper does (Fig 10).
+ */
+
+#ifndef SENTINELFLASH_UTIL_POLYFIT_HH
+#define SENTINELFLASH_UTIL_POLYFIT_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace flash::util
+{
+
+/**
+ * A fitted polynomial p(x) = sum_i coeff[i] * x_scaled^i, where
+ * x_scaled = (x - xShift) * xScale. The input is normalized before
+ * fitting so the normal equations stay well conditioned at degree 5.
+ */
+class Polynomial
+{
+  public:
+    Polynomial() = default;
+
+    Polynomial(std::vector<double> coeffs, double x_shift, double x_scale)
+        : coeffs_(std::move(coeffs)), xShift_(x_shift), xScale_(x_scale)
+    {}
+
+    /** Evaluate the polynomial at @p x (Horner). */
+    double operator()(double x) const;
+
+    /** Polynomial degree (0 when empty). */
+    std::size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+
+    /** Coefficients in the scaled domain, lowest order first. */
+    const std::vector<double> &coeffs() const { return coeffs_; }
+
+    /** Input normalization shift (serialization support). */
+    double xShift() const { return xShift_; }
+
+    /** Input normalization scale (serialization support). */
+    double xScale() const { return xScale_; }
+
+    /** True once a fit has been installed. */
+    bool valid() const { return !coeffs_.empty(); }
+
+  private:
+    std::vector<double> coeffs_;
+    double xShift_ = 0.0;
+    double xScale_ = 1.0;
+};
+
+/**
+ * Fit a polynomial of the given degree to (x, y) by least squares.
+ * Uses normal equations with Gaussian elimination and partial
+ * pivoting on normalized inputs.
+ *
+ * @param x Sample abscissae (size >= degree + 1).
+ * @param y Sample ordinates (same size as x).
+ * @param degree Polynomial degree.
+ * @return The fitted polynomial.
+ */
+Polynomial polyfit(const std::vector<double> &x, const std::vector<double> &y,
+                   std::size_t degree);
+
+/** Root-mean-square residual of a fit over the sample set. */
+double polyfitRmse(const Polynomial &p, const std::vector<double> &x,
+                   const std::vector<double> &y);
+
+} // namespace flash::util
+
+#endif // SENTINELFLASH_UTIL_POLYFIT_HH

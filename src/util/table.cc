@@ -1,0 +1,94 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace flash::util
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << std::string(width[i] - r[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cols; ++i)
+            total += width[i] + (i + 1 < cols ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtSci(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtInt(std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+}
+
+void
+banner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "== " << title << " ==\n";
+}
+
+} // namespace flash::util

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain-text table printing for experiment harnesses.
+ *
+ * Every bench binary prints the rows/series of one paper figure or
+ * table; this helper keeps their output aligned and uniform.
+ */
+
+#ifndef SENTINELFLASH_UTIL_TABLE_HH
+#define SENTINELFLASH_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flash::util
+{
+
+/**
+ * Column-aligned text table. Collect rows of strings, then print with
+ * per-column widths computed from the content.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmt(double v, int decimals = 3);
+
+/** Format a double in scientific notation (e.g. RBER values). */
+std::string fmtSci(double v, int decimals = 2);
+
+/** Format a percentage (0.74 -> "74.0%"). */
+std::string fmtPct(double fraction, int decimals = 1);
+
+/** Format an integer count. */
+std::string fmtInt(std::int64_t v);
+
+/** Print a section banner used by the bench harnesses. */
+void banner(std::ostream &os, const std::string &title);
+
+} // namespace flash::util
+
+#endif // SENTINELFLASH_UTIL_TABLE_HH

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ecc/bch.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace flash::ecc
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+randomData(int bits, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<std::uint8_t> d(static_cast<std::size_t>(bits));
+    for (auto &b : d)
+        b = static_cast<std::uint8_t>(rng.uniformInt(2));
+    return d;
+}
+
+TEST(Bch, ParitySizeIsAtMostMT)
+{
+    const BchCodec codec(8, 3, 100);
+    EXPECT_LE(codec.parityBits(), 8 * 3);
+    EXPECT_GT(codec.parityBits(), 0);
+    EXPECT_EQ(codec.frameBits(), 100 + codec.parityBits());
+}
+
+TEST(Bch, EncodePreservesData)
+{
+    const BchCodec codec(8, 4, 64);
+    const auto data = randomData(64, 1);
+    const auto frame = codec.encode(data);
+    ASSERT_EQ(static_cast<int>(frame.size()), codec.frameBits());
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(frame[static_cast<std::size_t>(i)],
+                  data[static_cast<std::size_t>(i)]);
+}
+
+TEST(Bch, CleanFrameDecodes)
+{
+    const BchCodec codec(8, 4, 64);
+    auto frame = codec.encode(randomData(64, 2));
+    const auto res = codec.decode(frame);
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.correctedBits, 0);
+}
+
+class BchParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(BchParam, CorrectsUpToTErrors)
+{
+    const auto [m, t, data_bits] = GetParam();
+    const BchCodec codec(m, t, data_bits);
+    util::Rng rng(static_cast<std::uint64_t>(m * 1000 + t));
+
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto data =
+            randomData(data_bits, static_cast<std::uint64_t>(trial));
+        const auto clean = codec.encode(data);
+        for (int errors = 1; errors <= t; ++errors) {
+            auto corrupted = clean;
+            // Flip `errors` distinct random positions.
+            std::vector<int> pos;
+            while (static_cast<int>(pos.size()) < errors) {
+                const int p = static_cast<int>(rng.uniformInt(
+                    static_cast<std::uint64_t>(codec.frameBits())));
+                bool dup = false;
+                for (int q : pos)
+                    dup |= q == p;
+                if (!dup)
+                    pos.push_back(p);
+            }
+            for (int p : pos)
+                corrupted[static_cast<std::size_t>(p)] ^= 1;
+
+            const auto res = codec.decode(corrupted);
+            EXPECT_TRUE(res.success)
+                << "m=" << m << " t=" << t << " errors=" << errors;
+            EXPECT_EQ(res.correctedBits, errors);
+            EXPECT_EQ(corrupted, clean);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, BchParam,
+    ::testing::Values(std::make_tuple(6, 2, 32), std::make_tuple(8, 2, 128),
+                      std::make_tuple(8, 5, 180), std::make_tuple(10, 8, 512),
+                      std::make_tuple(13, 8, 2048),
+                      std::make_tuple(13, 16, 4096)));
+
+TEST(Bch, BeyondCapabilityIsDetectedNotMiscorrected)
+{
+    const BchCodec codec(10, 4, 256);
+    util::Rng rng(5);
+    int detected = 0;
+    const int trials = 30;
+    for (int trial = 0; trial < trials; ++trial) {
+        const auto data =
+            randomData(256, static_cast<std::uint64_t>(100 + trial));
+        auto frame = codec.encode(data);
+        // 3t errors: far beyond capability.
+        for (int e = 0; e < 12; ++e) {
+            frame[rng.uniformInt(
+                static_cast<std::uint64_t>(codec.frameBits()))] ^= 1;
+        }
+        const auto res = codec.decode(frame);
+        detected += !res.success;
+    }
+    // Decoding failure must be the overwhelmingly common outcome.
+    EXPECT_GE(detected, trials - 3);
+}
+
+TEST(Bch, FailedDecodeLeavesFrameUntouched)
+{
+    const BchCodec codec(8, 2, 64);
+    auto frame = codec.encode(randomData(64, 9));
+    // 6 errors >> t=2.
+    for (int i = 0; i < 6; ++i)
+        frame[static_cast<std::size_t>(i * 7)] ^= 1;
+    const auto copy = frame;
+    const auto res = codec.decode(frame);
+    if (!res.success)
+        EXPECT_EQ(frame, copy);
+}
+
+TEST(Bch, SingleBitErrorAnywhere)
+{
+    const BchCodec codec(8, 3, 100);
+    const auto clean = codec.encode(randomData(100, 10));
+    for (int p = 0; p < codec.frameBits(); p += 13) {
+        auto frame = clean;
+        frame[static_cast<std::size_t>(p)] ^= 1;
+        const auto res = codec.decode(frame);
+        EXPECT_TRUE(res.success) << "position " << p;
+        EXPECT_EQ(frame, clean);
+    }
+}
+
+TEST(Bch, ErrorsInParityAreCorrectedToo)
+{
+    const BchCodec codec(8, 3, 100);
+    const auto clean = codec.encode(randomData(100, 11));
+    auto frame = clean;
+    frame[static_cast<std::size_t>(codec.frameBits() - 1)] ^= 1;
+    frame[static_cast<std::size_t>(100)] ^= 1; // first parity bit
+    EXPECT_TRUE(codec.decode(frame).success);
+    EXPECT_EQ(frame, clean);
+}
+
+TEST(Bch, RejectsBadConfiguration)
+{
+    EXPECT_THROW(BchCodec(8, 0, 10), util::FatalError);
+    EXPECT_THROW(BchCodec(8, 2, 0), util::FatalError);
+    // Frame cannot exceed 2^m - 1.
+    EXPECT_THROW(BchCodec(6, 4, 60), util::FatalError);
+}
+
+TEST(Bch, RejectsWrongBufferSizes)
+{
+    const BchCodec codec(8, 2, 64);
+    std::vector<std::uint8_t> wrong(10, 0);
+    EXPECT_THROW(codec.encode(wrong), util::FatalError);
+    EXPECT_THROW(codec.decode(wrong), util::FatalError);
+}
+
+} // namespace
+} // namespace flash::ecc

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/characterization.hh"
+#include "test_support.hh"
+#include "util/logging.hh"
+
+namespace flash::core
+{
+namespace
+{
+
+class CharacterizationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        chip = std::make_unique<nand::Chip>(test::mediumQlcGeometry(),
+                                            nand::qlcVoltageParams(), 2024);
+        CharOptions opt;
+        opt.sentinel.ratio = 0.01; // medium geometry: keep ~370 sentinels
+        opt.wordlineStride = 4;
+        const FactoryCharacterizer characterizer(opt);
+        tables = std::make_unique<Characterization>(characterizer.run(*chip));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        tables.reset();
+        chip.reset();
+    }
+
+    static std::unique_ptr<nand::Chip> chip;
+    static std::unique_ptr<Characterization> tables;
+};
+
+std::unique_ptr<nand::Chip> CharacterizationTest::chip;
+std::unique_ptr<Characterization> CharacterizationTest::tables;
+
+TEST_F(CharacterizationTest, ProducesValidFits)
+{
+    EXPECT_TRUE(tables->dToVopt.valid());
+    EXPECT_EQ(tables->dToVopt.degree(), 5u);
+    EXPECT_EQ(tables->sentinelBoundary, 8);
+    EXPECT_GT(tables->samples, 100u);
+    EXPECT_EQ(tables->dSamples.size(), tables->voptSamples.size());
+}
+
+TEST_F(CharacterizationTest, CrossVoltageFitsCoverAllBoundaries)
+{
+    ASSERT_EQ(static_cast<int>(tables->crossVoltage.size()), 16);
+    for (int k = 1; k <= 15; ++k)
+        EXPECT_GT(tables->crossVoltage[static_cast<std::size_t>(k)].n, 0u)
+            << "k=" << k;
+}
+
+TEST_F(CharacterizationTest, SentinelBoundaryFitIsIdentity)
+{
+    const auto &f = tables->crossVoltage[8];
+    EXPECT_NEAR(f.slope, 1.0, 1e-9);
+    EXPECT_NEAR(f.intercept, 0.0, 1e-9);
+    EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST_F(CharacterizationTest, SlopesFollowSensitivityProfile)
+{
+    // Boundaries below the sentinel shift more (slope > 1), above it
+    // less (slope < 1) — the paper's Fig 8 structure.
+    EXPECT_GT(tables->crossVoltage[2].slope, 1.0);
+    EXPECT_LT(tables->crossVoltage[14].slope, 1.0);
+    // Monotone-ish decline across programmed boundaries.
+    EXPECT_GT(tables->crossVoltage[3].slope,
+              tables->crossVoltage[12].slope);
+}
+
+TEST_F(CharacterizationTest, CorrelationsAreStrong)
+{
+    // Fig 8: strong linear correlation for programmed boundaries.
+    for (int k = 2; k <= 15; ++k) {
+        EXPECT_GT(tables->crossVoltage[static_cast<std::size_t>(k)].r2, 0.5)
+            << "V" << k;
+    }
+}
+
+TEST_F(CharacterizationTest, DFitIsUsable)
+{
+    EXPECT_LT(tables->dFitRmse, 10.0);
+    // Negative d (down errors dominate) must map to negative offsets.
+    EXPECT_LT(tables->dToVopt(-0.05), -5.0);
+    // d = 0 maps near zero offset.
+    EXPECT_NEAR(tables->dToVopt(0.0), 0.0, 8.0);
+}
+
+TEST_F(CharacterizationTest, BlockAgeRestoredAfterRun)
+{
+    const auto &age = chip->blockAge(0);
+    EXPECT_EQ(age.peCycles, 0u);
+    EXPECT_EQ(age.effRetentionHours, 0.0);
+}
+
+TEST_F(CharacterizationTest, BandsCarryTheirTemperature)
+{
+    CharOptions opt;
+    opt.sentinel.ratio = 0.01;
+    opt.wordlineStride = 4;
+    opt.conditions = {{1000, 720.0}, {3000, 4380.0}, {5000, 8760.0}};
+    const FactoryCharacterizer characterizer(opt);
+    const auto bands = characterizer.runBands(*chip, {25.0, 80.0});
+    ASSERT_EQ(bands.size(), 2u);
+    EXPECT_EQ(bands[0].tempBandC, 25.0);
+    EXPECT_EQ(bands[1].tempBandC, 80.0);
+}
+
+TEST_F(CharacterizationTest, SelectBandPicksNearest)
+{
+    std::vector<Characterization> bands(2);
+    bands[0].tempBandC = 25.0;
+    bands[1].tempBandC = 80.0;
+    EXPECT_EQ(&selectBand(bands, 30.0), &bands[0]);
+    EXPECT_EQ(&selectBand(bands, 70.0), &bands[1]);
+    EXPECT_THROW(selectBand({}, 25.0), util::FatalError);
+}
+
+TEST_F(CharacterizationTest, OptionsValidated)
+{
+    CharOptions opt;
+    opt.wordlineStride = 0;
+    EXPECT_THROW(FactoryCharacterizer{opt}, util::FatalError);
+    opt = CharOptions{};
+    opt.polyDegree = 0;
+    EXPECT_THROW(FactoryCharacterizer{opt}, util::FatalError);
+}
+
+TEST_F(CharacterizationTest, DefaultConditionGridNonEmpty)
+{
+    CharOptions opt;
+    const FactoryCharacterizer characterizer(opt);
+    EXPECT_GE(characterizer.options().conditions.size(), 8u);
+}
+
+} // namespace
+} // namespace flash::core

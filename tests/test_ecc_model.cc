@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "ecc/ecc_model.hh"
+#include "util/logging.hh"
+
+namespace flash::ecc
+{
+namespace
+{
+
+TEST(EccConfig, CapabilityRber)
+{
+    EccConfig c{16384, 164};
+    EXPECT_NEAR(c.capabilityRber(), 0.01, 1e-4);
+}
+
+TEST(EccModel, FrameRuleExactBoundary)
+{
+    EccModel m(EccConfig{1024, 10});
+    EXPECT_TRUE(m.frameDecodable(0));
+    EXPECT_TRUE(m.frameDecodable(10));
+    EXPECT_FALSE(m.frameDecodable(11));
+}
+
+TEST(EccModel, CleanPageDecodes)
+{
+    EccModel m(EccConfig{16384, 100});
+    EXPECT_TRUE(m.pageDecodable(0, 131072));
+}
+
+TEST(EccModel, HeavilyCorruptedPageFails)
+{
+    EccModel m(EccConfig{16384, 100});
+    // RBER 2x the capability.
+    EXPECT_FALSE(m.pageDecodable(131072 / 50, 131072));
+}
+
+TEST(EccModel, WorstFrameExceedsMeanFrame)
+{
+    EccModel m(EccConfig{16384, 100});
+    const std::uint64_t page_bits = 131072; // 8 frames
+    const std::uint64_t errors = 400;       // 50/frame on average
+    const double worst = m.worstFrameErrors(errors, page_bits);
+    EXPECT_GT(worst, 50.0);
+    EXPECT_LT(worst, 100.0);
+}
+
+TEST(EccModel, WorstFrameMonotoneInErrors)
+{
+    EccModel m(EccConfig{16384, 100});
+    double prev = -1.0;
+    for (std::uint64_t e : {0ull, 100ull, 400ull, 1000ull, 4000ull}) {
+        const double w = m.worstFrameErrors(e, 131072);
+        EXPECT_GE(w, prev);
+        prev = w;
+    }
+}
+
+TEST(EccModel, SingleFramePageHasNoOrderStatisticPenalty)
+{
+    EccModel m(EccConfig{16384, 100});
+    // One frame: worst ~ mean + noise term with log(2) only.
+    const double w = m.worstFrameErrors(50, 16384);
+    EXPECT_GT(w, 50.0);
+    EXPECT_LT(w, 70.0);
+}
+
+TEST(EccModel, DecodabilityIsMonotoneInErrors)
+{
+    EccModel m(EccConfig{16384, 100});
+    bool prev = true;
+    for (std::uint64_t e = 0; e < 1500; e += 50) {
+        const bool d = m.pageDecodable(e, 131072);
+        EXPECT_TRUE(prev || !d) << "non-monotone at " << e;
+        prev = d;
+    }
+}
+
+TEST(EccModel, EmptyPageFatal)
+{
+    EccModel m(EccConfig{16384, 100});
+    EXPECT_THROW(m.worstFrameErrors(0, 0), util::FatalError);
+}
+
+TEST(EccModel, ConfigAccessible)
+{
+    EccModel m(EccConfig{2048, 31});
+    EXPECT_EQ(m.config().frameBits, 2048);
+    EXPECT_EQ(m.config().correctableBits, 31);
+}
+
+} // namespace
+} // namespace flash::ecc

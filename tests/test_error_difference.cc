@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error_difference.hh"
+#include "core/sentinel_layout.hh"
+#include "test_support.hh"
+#include "util/logging.hh"
+
+namespace flash::core
+{
+namespace
+{
+
+class ErrorDifferenceTest : public ::testing::Test
+{
+  protected:
+    ErrorDifferenceTest()
+        : chip(test::mediumQlcGeometry(), nand::qlcVoltageParams(), 55)
+    {
+        SentinelConfig cfg;
+        overlay = makeOverlay(chip.geometry(), cfg);
+        chip.programBlock(0, 7, overlay);
+        vs = chip.model().defaultVoltage(8);
+    }
+
+    nand::Chip chip;
+    nand::SentinelOverlay overlay;
+    int vs = 0;
+};
+
+TEST_F(ErrorDifferenceTest, SentinelSnapshotHasExpectedCells)
+{
+    const auto snap = sentinelSnapshot(chip, 0, 0, overlay, 1);
+    EXPECT_EQ(snap.cells(), static_cast<std::uint64_t>(overlay.count));
+    EXPECT_EQ(snap.cellsInState(7), snap.cellsInState(8));
+}
+
+TEST_F(ErrorDifferenceTest, FreshChipHasNearZeroDifference)
+{
+    const auto snap = sentinelSnapshot(chip, 0, 0, overlay, 1);
+    const auto e = countSentinelErrors(snap, 8, vs);
+    EXPECT_LT(std::abs(e.dRate()), 0.05);
+}
+
+TEST_F(ErrorDifferenceTest, RetentionMakesDifferenceNegative)
+{
+    chip.setPeCycles(0, 3000);
+    chip.age(0, 8760.0, 25.0);
+    const auto snap = sentinelSnapshot(chip, 0, 0, overlay, 2);
+    const auto e = countSentinelErrors(snap, 8, vs);
+    // States shift down: high-state cells misread low dominate.
+    EXPECT_GT(e.down, e.up);
+    EXPECT_LT(e.dRate(), -0.01);
+}
+
+TEST_F(ErrorDifferenceTest, DRateMagnitudeGrowsWithAging)
+{
+    chip.setPeCycles(0, 1000);
+    chip.age(0, 720.0, 25.0);
+    const auto mild =
+        countSentinelErrors(sentinelSnapshot(chip, 0, 0, overlay, 3), 8, vs)
+            .dRate();
+    chip.setPeCycles(0, 5000);
+    chip.age(0, 8760.0, 25.0);
+    const auto heavy =
+        countSentinelErrors(sentinelSnapshot(chip, 0, 0, overlay, 4), 8, vs)
+            .dRate();
+    EXPECT_LT(heavy, mild);
+}
+
+TEST_F(ErrorDifferenceTest, LoweringVoltageRecoversDifference)
+{
+    chip.setPeCycles(0, 3000);
+    chip.age(0, 8760.0, 25.0);
+    const auto snap = sentinelSnapshot(chip, 0, 0, overlay, 5);
+    const double at_default = countSentinelErrors(snap, 8, vs).dRate();
+    const double tuned = countSentinelErrors(snap, 8, vs - 25).dRate();
+    EXPECT_GT(tuned, at_default); // moving down turns down-errors into ups
+}
+
+TEST_F(ErrorDifferenceTest, CountsAreExactAgainstBruteForce)
+{
+    chip.setPeCycles(0, 2000);
+    chip.age(0, 4380.0, 25.0);
+    const std::uint64_t seq = 11;
+    const auto snap = sentinelSnapshot(chip, 0, 3, overlay, seq);
+    const auto e = countSentinelErrors(snap, 8, vs);
+
+    const auto ctx = chip.wordlineContext(0, 3);
+    std::uint64_t up = 0, down = 0;
+    for (int i = 0; i < overlay.count; ++i) {
+        const int col = overlay.start + i;
+        const int s = chip.trueState(0, 3, col);
+        const int vth = static_cast<int>(
+            std::lround(chip.cellVth(ctx, 0, 3, col, s, seq)));
+        if (s == 7 && vth > vs)
+            ++up;
+        if (s == 8 && vth <= vs)
+            ++down;
+    }
+    EXPECT_EQ(e.up, up);
+    EXPECT_EQ(e.down, down);
+    EXPECT_EQ(e.sentinels, static_cast<std::uint64_t>(overlay.count));
+}
+
+TEST_F(ErrorDifferenceTest, EmptyOverlayFatal)
+{
+    nand::SentinelOverlay empty;
+    EXPECT_THROW(sentinelSnapshot(chip, 0, 0, empty, 1), util::FatalError);
+}
+
+TEST_F(ErrorDifferenceTest, DRateZeroWhenNoSentinels)
+{
+    SentinelErrors e;
+    EXPECT_EQ(e.dRate(), 0.0);
+}
+
+} // namespace
+} // namespace flash::core

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssd/ftl.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace flash::ssd
+{
+namespace
+{
+
+SsdConfig
+smallConfig()
+{
+    SsdConfig c;
+    c.channels = 2;
+    c.chipsPerChannel = 1;
+    c.diesPerChip = 1;
+    c.planesPerDie = 2;
+    c.blocksPerPlane = 16;
+    c.pagesPerBlock = 32;
+    c.pageKb = 4;
+    c.overprovision = 0.2;
+    return c;
+}
+
+TEST(SsdConfig, DerivedQuantities)
+{
+    const SsdConfig c = smallConfig();
+    EXPECT_EQ(c.totalPlanes(), 4);
+    EXPECT_EQ(c.physicalPages(), 4 * 16 * 32);
+    EXPECT_LT(c.logicalPages(), c.physicalPages());
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SsdConfig, ValidateRejectsNonsense)
+{
+    SsdConfig c = smallConfig();
+    c.channels = 0;
+    EXPECT_THROW(c.validate(), util::FatalError);
+    c = smallConfig();
+    c.overprovision = 0.0;
+    EXPECT_THROW(c.validate(), util::FatalError);
+}
+
+TEST(Ftl, PreconditionMapsEverything)
+{
+    const Ftl ftl(smallConfig());
+    for (std::int64_t lpn = 0; lpn < ftl.logicalPages(); ++lpn)
+        EXPECT_TRUE(ftl.translate(lpn).valid()) << "lpn " << lpn;
+}
+
+TEST(Ftl, UnpreconditionedStartsUnmapped)
+{
+    const Ftl ftl(smallConfig(), false);
+    EXPECT_FALSE(ftl.translate(0).valid());
+}
+
+TEST(Ftl, WriteMapsAndRemaps)
+{
+    Ftl ftl(smallConfig(), false);
+    const auto e1 = ftl.write(7);
+    EXPECT_TRUE(e1.target.valid());
+    const auto a1 = ftl.translate(7);
+    EXPECT_EQ(a1.plane, e1.target.plane);
+    EXPECT_EQ(a1.block, e1.target.block);
+    EXPECT_EQ(a1.page, e1.target.page);
+
+    const auto e2 = ftl.write(7); // overwrite
+    const auto a2 = ftl.translate(7);
+    EXPECT_TRUE(a2.valid());
+    EXPECT_FALSE(a2.plane == a1.plane && a2.block == a1.block
+                 && a2.page == a1.page);
+    (void)e2;
+}
+
+TEST(Ftl, WritesStripeAcrossPlanes)
+{
+    Ftl ftl(smallConfig(), false);
+    std::set<int> planes;
+    for (int i = 0; i < 4; ++i)
+        planes.insert(ftl.write(i).target.plane);
+    EXPECT_EQ(planes.size(), 4u);
+}
+
+TEST(Ftl, OutOfRangeLpnFatal)
+{
+    Ftl ftl(smallConfig(), false);
+    EXPECT_THROW(ftl.translate(-1), util::FatalError);
+    EXPECT_THROW(ftl.write(ftl.logicalPages()), util::FatalError);
+}
+
+TEST(Ftl, GcReclaimsSpaceUnderOverwrites)
+{
+    Ftl ftl(smallConfig());
+    util::Rng rng(1);
+    // Overwrite far more pages than raw capacity; GC must keep up.
+    const std::int64_t n = ftl.logicalPages();
+    for (int round = 0; round < 8; ++round) {
+        for (std::int64_t i = 0; i < n; ++i)
+            ftl.write(rng.uniformInt(static_cast<std::uint64_t>(n)));
+    }
+    EXPECT_GT(ftl.stats().gcRuns, 0u);
+    EXPECT_GT(ftl.stats().erases, 0u);
+    EXPECT_GE(ftl.stats().waf(), 1.0);
+    // All pages still translate.
+    for (std::int64_t lpn = 0; lpn < n; lpn += 7)
+        EXPECT_TRUE(ftl.translate(lpn).valid());
+}
+
+TEST(Ftl, SequentialOverwritesHaveLowWaf)
+{
+    Ftl ftl(smallConfig());
+    const std::int64_t n = ftl.logicalPages();
+    for (int round = 0; round < 6; ++round) {
+        for (std::int64_t i = 0; i < n; ++i)
+            ftl.write(i);
+    }
+    // Sequential overwrite invalidates whole blocks: WAF near 1.
+    EXPECT_LT(ftl.stats().waf(), 1.5);
+}
+
+TEST(Ftl, HotColdSkewIncreasesGcEfficiencyOverRandom)
+{
+    const std::int64_t writes = 6000;
+
+    Ftl random_ftl(smallConfig());
+    util::Rng r1(2);
+    const std::int64_t n = random_ftl.logicalPages();
+    for (std::int64_t i = 0; i < writes; ++i)
+        random_ftl.write(r1.uniformInt(static_cast<std::uint64_t>(n)));
+
+    Ftl hot_ftl(smallConfig());
+    util::Rng r2(2);
+    for (std::int64_t i = 0; i < writes; ++i) {
+        // 90% of writes to 10% of the space.
+        const bool hot = r2.bernoulli(0.9);
+        const std::int64_t span = hot ? n / 10 : n - n / 10;
+        const std::int64_t base = hot ? 0 : n / 10;
+        hot_ftl.write(base
+                      + static_cast<std::int64_t>(r2.uniformInt(
+                          static_cast<std::uint64_t>(span))));
+    }
+    EXPECT_LE(hot_ftl.stats().waf(), random_ftl.stats().waf() + 0.2);
+}
+
+TEST(Ftl, HostWritesCounted)
+{
+    Ftl ftl(smallConfig(), false);
+    for (int i = 0; i < 10; ++i)
+        ftl.write(i);
+    EXPECT_EQ(ftl.stats().hostWrites, 10u);
+}
+
+TEST(Ftl, FreeBlocksDecreaseWithWrites)
+{
+    Ftl ftl(smallConfig(), false);
+    const int before = ftl.freeBlocks(0);
+    for (std::int64_t i = 0; i < 200; ++i)
+        ftl.write(i % ftl.logicalPages());
+    int total_after = 0;
+    for (int p = 0; p < smallConfig().totalPlanes(); ++p)
+        total_after += ftl.freeBlocks(p);
+    EXPECT_LT(total_after, before * smallConfig().totalPlanes());
+}
+
+TEST(Ftl, WriteEffectReportsGc)
+{
+    Ftl ftl(smallConfig());
+    util::Rng rng(3);
+    const std::int64_t n = ftl.logicalPages();
+    bool saw_gc = false;
+    for (std::int64_t i = 0; i < 4 * n && !saw_gc; ++i) {
+        const auto e =
+            ftl.write(rng.uniformInt(static_cast<std::uint64_t>(n)));
+        saw_gc = e.gcTriggered;
+    }
+    EXPECT_TRUE(saw_gc);
+}
+
+} // namespace
+} // namespace flash::ssd

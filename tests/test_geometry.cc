@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "nandsim/geometry.hh"
+#include "util/logging.hh"
+
+namespace flash::nand
+{
+namespace
+{
+
+TEST(CellType, BitAndStateCounts)
+{
+    EXPECT_EQ(bitsPerCell(CellType::TLC), 3);
+    EXPECT_EQ(bitsPerCell(CellType::QLC), 4);
+    EXPECT_EQ(stateCount(CellType::TLC), 8);
+    EXPECT_EQ(stateCount(CellType::QLC), 16);
+    EXPECT_EQ(boundaryCount(CellType::TLC), 7);
+    EXPECT_EQ(boundaryCount(CellType::QLC), 15);
+}
+
+TEST(Geometry, PaperTlcMatchesPaper)
+{
+    const ChipGeometry g = paperTlcGeometry();
+    EXPECT_EQ(g.cellType, CellType::TLC);
+    EXPECT_EQ(g.layers, 64);
+    EXPECT_EQ(g.wordlinesPerBlock(), 256);
+    // 18592-byte pages: 16384 B data + 2208 B OOB.
+    EXPECT_EQ(g.dataBitlines, 16384 * 8);
+    EXPECT_EQ(g.oobBitlines, 2208 * 8);
+    EXPECT_EQ(g.bitlines(), 18592 * 8);
+    EXPECT_EQ(g.states(), 8);
+    EXPECT_EQ(g.pagesPerWordline(), 3);
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Geometry, PaperQlcMatchesPaper)
+{
+    const ChipGeometry g = paperQlcGeometry();
+    EXPECT_EQ(g.cellType, CellType::QLC);
+    EXPECT_EQ(g.wordlinesPerBlock(), 768); // as in Figs 4/5/7
+    EXPECT_EQ(g.boundaries(), 15);
+    EXPECT_EQ(g.pagesPerWordline(), 4);
+}
+
+TEST(Geometry, TinyPresetsValidate)
+{
+    EXPECT_NO_THROW(tinyTlcGeometry().validate());
+    EXPECT_NO_THROW(tinyQlcGeometry().validate());
+}
+
+TEST(Geometry, LayerOfIsStringMajor)
+{
+    const ChipGeometry g = paperTlcGeometry();
+    EXPECT_EQ(g.layerOf(0), 0);
+    EXPECT_EQ(g.layerOf(63), 63);
+    EXPECT_EQ(g.layerOf(64), 0); // string 1, layer 0
+    EXPECT_EQ(g.layerOf(130), 2);
+}
+
+TEST(Geometry, ValidateRejectsNonsense)
+{
+    ChipGeometry g = tinyTlcGeometry();
+    g.layers = 0;
+    EXPECT_THROW(g.validate(), util::FatalError);
+
+    g = tinyTlcGeometry();
+    g.dataBitlines = -1;
+    EXPECT_THROW(g.validate(), util::FatalError);
+
+    g = tinyTlcGeometry();
+    g.blocks = 0;
+    EXPECT_THROW(g.validate(), util::FatalError);
+
+    g = tinyTlcGeometry();
+    g.oobBitlines = -1;
+    EXPECT_THROW(g.validate(), util::FatalError);
+}
+
+TEST(Geometry, DescribeMentionsType)
+{
+    EXPECT_NE(paperTlcGeometry().describe().find("TLC"), std::string::npos);
+    EXPECT_NE(paperQlcGeometry().describe().find("QLC"), std::string::npos);
+}
+
+TEST(Geometry, OobAllowedZero)
+{
+    ChipGeometry g = tinyTlcGeometry();
+    g.oobBitlines = 0;
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.bitlines(), g.dataBitlines);
+}
+
+} // namespace
+} // namespace flash::nand

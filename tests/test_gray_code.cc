@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "nandsim/gray_code.hh"
+#include "util/logging.hh"
+
+namespace flash::nand
+{
+namespace
+{
+
+class GrayCodeBothTypes : public ::testing::TestWithParam<CellType>
+{
+};
+
+TEST_P(GrayCodeBothTypes, AdjacentStatesDifferInExactlyOneBit)
+{
+    const GrayCode code(GetParam());
+    for (int s = 1; s < code.states(); ++s) {
+        int diff = 0;
+        for (int p = 0; p < code.pages(); ++p)
+            diff += code.bit(s - 1, p) != code.bit(s, p);
+        EXPECT_EQ(diff, 1) << "states " << s - 1 << "/" << s;
+    }
+}
+
+TEST_P(GrayCodeBothTypes, ErasedStateReadsAllOnes)
+{
+    const GrayCode code(GetParam());
+    for (int p = 0; p < code.pages(); ++p)
+        EXPECT_EQ(code.bit(0, p), 1);
+}
+
+TEST_P(GrayCodeBothTypes, EveryBoundaryBelongsToItsFlippingPage)
+{
+    const GrayCode code(GetParam());
+    for (int k = 1; k < code.states(); ++k) {
+        const int page = code.pageOfBoundary(k);
+        EXPECT_NE(code.bit(k - 1, page), code.bit(k, page));
+    }
+}
+
+TEST_P(GrayCodeBothTypes, BoundariesOfPagePartitionAllBoundaries)
+{
+    const GrayCode code(GetParam());
+    int total = 0;
+    for (int p = 0; p < code.pages(); ++p) {
+        for (int k : code.boundariesOfPage(p)) {
+            EXPECT_EQ(code.pageOfBoundary(k), p);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, code.boundaries());
+}
+
+TEST_P(GrayCodeBothTypes, PageVoltageCountsAre1248)
+{
+    const GrayCode code(GetParam());
+    // Page p senses 2^p voltages (1-2-4[-8] coding).
+    for (int p = 0; p < code.pages(); ++p) {
+        EXPECT_EQ(static_cast<int>(code.boundariesOfPage(p).size()), 1 << p)
+            << "page " << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCellTypes, GrayCodeBothTypes,
+                         ::testing::Values(CellType::TLC, CellType::QLC));
+
+TEST(GrayCodeTlc, MatchesPaperFigure1)
+{
+    // Fig 1: S0..S7 read as LSB/CSB/MSB = 111,110,100,101,001,000,
+    // 010,011.
+    const GrayCode code(CellType::TLC);
+    const int expected[8][3] = {{1, 1, 1}, {1, 1, 0}, {1, 0, 0},
+                                {1, 0, 1}, {0, 0, 1}, {0, 0, 0},
+                                {0, 1, 0}, {0, 1, 1}};
+    for (int s = 0; s < 8; ++s) {
+        for (int p = 0; p < 3; ++p)
+            EXPECT_EQ(code.bit(s, p), expected[s][p])
+                << "state " << s << " page " << p;
+    }
+}
+
+TEST(GrayCodeTlc, PageReadVoltagesMatchPaper)
+{
+    const GrayCode code(CellType::TLC);
+    EXPECT_EQ(code.boundariesOfPage(0), (std::vector<int>{4}));       // LSB
+    EXPECT_EQ(code.boundariesOfPage(1), (std::vector<int>{2, 6}));    // CSB
+    EXPECT_EQ(code.boundariesOfPage(2), (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(GrayCodeQlc, PageReadVoltagesMatch1248)
+{
+    const GrayCode code(CellType::QLC);
+    EXPECT_EQ(code.boundariesOfPage(0), (std::vector<int>{8}));
+    EXPECT_EQ(code.boundariesOfPage(1), (std::vector<int>{4, 12}));
+    EXPECT_EQ(code.boundariesOfPage(2),
+              (std::vector<int>{2, 6, 10, 14}));
+    EXPECT_EQ(code.boundariesOfPage(3),
+              (std::vector<int>{1, 3, 5, 7, 9, 11, 13, 15}));
+}
+
+TEST(GrayCode, PageNames)
+{
+    const GrayCode tlc(CellType::TLC);
+    EXPECT_EQ(tlc.pageName(0), "LSB");
+    EXPECT_EQ(tlc.pageName(1), "CSB");
+    EXPECT_EQ(tlc.pageName(2), "MSB");
+
+    const GrayCode qlc(CellType::QLC);
+    EXPECT_EQ(qlc.pageName(2), "CSB2");
+    EXPECT_EQ(qlc.pageName(3), "MSB");
+    EXPECT_THROW(qlc.pageName(4), util::FatalError);
+}
+
+TEST(GrayCode, MsbPageIndex)
+{
+    EXPECT_EQ(GrayCode(CellType::TLC).msbPage(), 2);
+    EXPECT_EQ(GrayCode(CellType::QLC).msbPage(), 3);
+}
+
+} // namespace
+} // namespace flash::nand

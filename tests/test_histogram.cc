@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+#include "util/logging.hh"
+
+namespace flash::util
+{
+namespace
+{
+
+TEST(Histogram, EmptyTotals)
+{
+    Histogram h(-5, 5);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.countAtOrBelow(0), 0u);
+    EXPECT_EQ(h.countAbove(0), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, BasicCounts)
+{
+    Histogram h(0, 10);
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.binCount(3), 2u);
+    EXPECT_EQ(h.binCount(7), 1u);
+    EXPECT_EQ(h.binCount(5), 0u);
+}
+
+TEST(Histogram, PrefixSums)
+{
+    Histogram h(0, 10);
+    for (int v : {1, 2, 2, 5, 9})
+        h.add(v);
+    EXPECT_EQ(h.countAtOrBelow(0), 0u);
+    EXPECT_EQ(h.countAtOrBelow(1), 1u);
+    EXPECT_EQ(h.countAtOrBelow(2), 3u);
+    EXPECT_EQ(h.countAtOrBelow(4), 3u);
+    EXPECT_EQ(h.countAtOrBelow(5), 4u);
+    EXPECT_EQ(h.countAtOrBelow(100), 5u);
+    EXPECT_EQ(h.countAbove(2), 2u);
+    EXPECT_EQ(h.countAbove(-10), 5u);
+}
+
+TEST(Histogram, BelowRangeQueries)
+{
+    Histogram h(5, 10);
+    h.add(6);
+    EXPECT_EQ(h.countAtOrBelow(4), 0u);
+    EXPECT_EQ(h.countAtOrBelow(2), 0u);
+    EXPECT_EQ(h.countAbove(4), 1u);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues)
+{
+    Histogram h(0, 10);
+    h.add(-100);
+    h.add(100);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(10), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, PrefixRebuildsAfterAdd)
+{
+    Histogram h(0, 4);
+    h.add(1);
+    EXPECT_EQ(h.countAtOrBelow(1), 1u); // builds prefix
+    h.add(1);
+    EXPECT_EQ(h.countAtOrBelow(1), 2u); // must rebuild
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(-10, 10);
+    h.add(-2);
+    h.add(2);
+    h.add(3);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(Histogram, BatchAdd)
+{
+    Histogram h(0, 3);
+    h.add(std::vector<int>{0, 1, 2, 3, 3});
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.binCount(3), 2u);
+}
+
+TEST(Histogram, SingleBinRange)
+{
+    Histogram h(7, 7);
+    h.add(7);
+    h.add(9);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_EQ(h.countAtOrBelow(7), 2u);
+    EXPECT_EQ(h.countAtOrBelow(6), 0u);
+}
+
+TEST(Histogram, BadRangeFatal)
+{
+    EXPECT_THROW(Histogram(5, 4), FatalError);
+}
+
+TEST(Histogram, LoHiAccessors)
+{
+    Histogram h(-3, 9);
+    EXPECT_EQ(h.lo(), -3);
+    EXPECT_EQ(h.hi(), 9);
+}
+
+} // namespace
+} // namespace flash::util

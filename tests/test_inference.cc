@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/inference.hh"
+#include "util/linear_fit.hh"
+#include "util/logging.hh"
+#include "util/polyfit.hh"
+
+namespace flash::core
+{
+namespace
+{
+
+/** Hand-built characterization with known, exact tables. */
+Characterization
+syntheticTables()
+{
+    Characterization t;
+    t.sentinelBoundary = 8;
+    // dToVopt: offset = 500 * d (fit a line with a degree-1 poly).
+    std::vector<double> xs, ys;
+    for (int i = -10; i <= 10; ++i) {
+        xs.push_back(i * 0.01);
+        ys.push_back(i * 0.01 * 500.0);
+    }
+    t.dToVopt = util::polyfit(xs, ys, 1);
+    // Cross fits: off_k = slope_k * off_8 with slope = 2 - k/8.
+    t.crossVoltage.resize(16);
+    for (int k = 1; k <= 15; ++k) {
+        std::vector<double> x{-30.0, 0.0, 30.0};
+        std::vector<double> y;
+        const double slope = 2.0 - k / 8.0;
+        for (double v : x)
+            y.push_back(slope * v);
+        t.crossVoltage[static_cast<std::size_t>(k)] = util::linearFit(x, y);
+    }
+    return t;
+}
+
+std::vector<int>
+defaults16()
+{
+    std::vector<int> v(16, 0);
+    for (int k = 1; k <= 15; ++k)
+        v[static_cast<std::size_t>(k)] = 1000 + 100 * k;
+    return v;
+}
+
+TEST(InferenceEngine, AppliesPolynomialAndCorrelations)
+{
+    const auto tables = syntheticTables();
+    const InferenceEngine engine(tables, defaults16());
+
+    const auto r = engine.infer(-0.04); // offset = -20
+    EXPECT_EQ(r.sentinelOffset, -20);
+    EXPECT_DOUBLE_EQ(r.dRate, -0.04);
+    // Sentinel boundary uses the offset itself.
+    EXPECT_EQ(r.voltages[8], 1800 - 20);
+    // Others via slope 2 - k/8.
+    EXPECT_EQ(r.voltages[2], 1200 + static_cast<int>(std::lround(-20 * 1.75)));
+    EXPECT_EQ(r.voltages[15], 2500 + static_cast<int>(std::lround(-20 * 0.125)));
+}
+
+TEST(InferenceEngine, ZeroDifferenceKeepsDefaults)
+{
+    const auto tables = syntheticTables();
+    const InferenceEngine engine(tables, defaults16());
+    const auto r = engine.infer(0.0);
+    EXPECT_EQ(r.sentinelOffset, 0);
+    EXPECT_EQ(r.voltages, defaults16());
+}
+
+TEST(InferenceEngine, InferAtRecomputesAllBoundaries)
+{
+    const auto tables = syntheticTables();
+    const InferenceEngine engine(tables, defaults16());
+    const auto r = engine.inferAt(-10);
+    EXPECT_EQ(r.sentinelOffset, -10);
+    EXPECT_EQ(r.voltages[8], 1790);
+    EXPECT_EQ(r.voltages[4], 1400 + static_cast<int>(std::lround(-10 * 1.5)));
+}
+
+TEST(InferenceEngine, MonotoneInD)
+{
+    const auto tables = syntheticTables();
+    const InferenceEngine engine(tables, defaults16());
+    int prev = engine.infer(-0.06).sentinelOffset;
+    for (double d = -0.05; d <= 0.05; d += 0.01) {
+        const int off = engine.infer(d).sentinelOffset;
+        EXPECT_GE(off, prev);
+        prev = off;
+    }
+}
+
+TEST(InferenceEngine, ClampsExtremeExtrapolation)
+{
+    const auto tables = syntheticTables();
+    const InferenceEngine engine(tables, defaults16());
+    // d = -1 would map to -500 without clamping.
+    const auto r = engine.infer(-1.0);
+    EXPECT_GE(r.sentinelOffset, -100);
+    const auto r2 = engine.infer(1.0);
+    EXPECT_LE(r2.sentinelOffset, 100);
+}
+
+TEST(InferenceEngine, RejectsInvalidTables)
+{
+    Characterization empty;
+    empty.crossVoltage.resize(16);
+    EXPECT_THROW(InferenceEngine(empty, defaults16()), util::FatalError);
+
+    auto tables = syntheticTables();
+    std::vector<int> wrong(8, 0);
+    EXPECT_THROW(InferenceEngine(tables, wrong), util::FatalError);
+}
+
+TEST(InferenceEngine, ExposesSentinelBoundaryAndDefaults)
+{
+    const auto tables = syntheticTables();
+    const InferenceEngine engine(tables, defaults16());
+    EXPECT_EQ(engine.sentinelBoundary(), 8);
+    EXPECT_EQ(engine.defaults(), defaults16());
+}
+
+} // namespace
+} // namespace flash::core

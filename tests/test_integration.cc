@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/evaluator.hh"
+#include "ecc/ldpc.hh"
+#include "ecc/soft_sensing.hh"
+#include "ssd/ssd_sim.hh"
+#include "test_support.hh"
+#include "trace/msr_workloads.hh"
+
+namespace flash
+{
+namespace
+{
+
+/**
+ * End-to-end pipeline on a medium QLC chip: factory characterization,
+ * sentinel reads vs baselines, and the SSD-level latency effect.
+ */
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        chip = std::make_unique<nand::Chip>(test::mediumQlcGeometry(),
+                                            nand::qlcVoltageParams(), 5150);
+        core::CharOptions opt;
+        opt.sentinel.ratio = 0.01; // medium geometry: keep ~370 sentinels
+        opt.wordlineStride = 4;
+        const core::FactoryCharacterizer characterizer(opt);
+        tables = std::make_unique<core::Characterization>(
+            characterizer.run(*chip));
+        overlay = core::makeOverlay(chip->geometry(), opt.sentinel);
+
+        chip->programBlock(1, 31, overlay);
+        chip->setPeCycles(1, 3000);
+        chip->age(1, 8760.0, 25.0);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        tables.reset();
+        chip.reset();
+    }
+
+    static std::unique_ptr<nand::Chip> chip;
+    static std::unique_ptr<core::Characterization> tables;
+    static nand::SentinelOverlay overlay;
+};
+
+std::unique_ptr<nand::Chip> PipelineTest::chip;
+std::unique_ptr<core::Characterization> PipelineTest::tables;
+nand::SentinelOverlay PipelineTest::overlay;
+
+TEST_F(PipelineTest, SentinelReducesRetriesVsVendor)
+{
+    const ecc::EccModel ecc(ecc::EccConfig{16384, 140});
+    core::VendorRetryPolicy vendor(chip->model());
+    core::SentinelPolicy sentinel(*tables,
+                                  chip->model().defaultVoltages());
+    const core::LatencyParams lat;
+
+    const auto vs = core::evaluateBlock(*chip, 1, vendor, ecc, overlay,
+                                        lat, -1, 1);
+    const auto ss = core::evaluateBlock(*chip, 1, sentinel, ecc, overlay,
+                                        lat, -1, 1);
+    EXPECT_LT(ss.retries.mean(), vs.retries.mean());
+    EXPECT_LT(ss.latencyUs.mean(), vs.latencyUs.mean());
+    EXPECT_LE(ss.failures, vs.failures + 2);
+}
+
+TEST_F(PipelineTest, SentinelApproachesOracleLatency)
+{
+    const ecc::EccModel ecc(ecc::EccConfig{16384, 175});
+    core::OraclePolicy oracle(chip->model().defaultVoltages());
+    core::SentinelPolicy sentinel(*tables,
+                                  chip->model().defaultVoltages());
+    const core::LatencyParams lat;
+
+    const auto os = core::evaluateBlock(*chip, 1, oracle, ecc, overlay,
+                                        lat, -1, 2);
+    const auto ss = core::evaluateBlock(*chip, 1, sentinel, ecc, overlay,
+                                        lat, -1, 2);
+    // Same order as the unimplementable oracle (the medium test
+    // geometry has ~5x fewer sentinels than the paper's chips).
+    EXPECT_LT(ss.latencyUs.mean(), 4.0 * os.latencyUs.mean());
+}
+
+TEST_F(PipelineTest, AccuracyMajorityAfterCalibration)
+{
+    int calib_ok = 0, total = 0;
+    for (int wl = 0; wl < chip->geometry().wordlinesPerBlock(); wl += 2) {
+        const auto acc = core::evaluateWordlineAccuracy(*chip, 1, wl,
+                                                        *tables, overlay);
+        for (int k = 1; k <= 15; ++k) {
+            calib_ok += acc.boundaries[static_cast<std::size_t>(k)].calibOk;
+            ++total;
+        }
+    }
+    EXPECT_GT(calib_ok, total * 7 / 10);
+}
+
+TEST_F(PipelineTest, SsdLevelLatencyDropsWithSentinelCosts)
+{
+    const ecc::EccModel ecc(ecc::EccConfig{16384, 140});
+    core::VendorRetryPolicy vendor(chip->model());
+    core::SentinelPolicy sentinel(*tables,
+                                  chip->model().defaultVoltages());
+    auto vcost = ssd::measureReadCost(*chip, 1, vendor, ecc, overlay,
+                                      chip->grayCode().msbPage(), 2);
+    auto scost = ssd::measureReadCost(*chip, 1, sentinel, ecc, overlay,
+                                      chip->grayCode().msbPage(), 2);
+    EXPECT_LT(scost.meanSenseOps(), vcost.meanSenseOps());
+
+    ssd::SsdConfig cfg;
+    cfg.channels = 2;
+    cfg.chipsPerChannel = 1;
+    cfg.diesPerChip = 1;
+    cfg.planesPerDie = 2;
+    cfg.blocksPerPlane = 64;
+    cfg.pagesPerBlock = 64;
+    cfg.pageKb = 4;
+
+    auto trace = trace::generateTrace(trace::msrWorkload("usr_0"), 5000, 3);
+    ssd::SsdSim sv(cfg, ssd::SsdTiming{}, vcost, 1);
+    const auto rv = sv.run(trace);
+    ssd::SsdSim ss(cfg, ssd::SsdTiming{}, scost, 1);
+    const auto rs = ss.run(trace);
+    EXPECT_LT(rs.readLatencyUs.mean(), rv.readLatencyUs.mean());
+}
+
+TEST_F(PipelineTest, LdpcDecodesSentinelReadsWhereDefaultFails)
+{
+    // Build LLRs from chip reads at default vs calibrated voltages on
+    // an aged wordline; the real decoder should find the calibrated
+    // read easier. Uses the all-zero-codeword transform.
+    const ecc::QcLdpc code(211, 3, 15); // n = 3165, rate 0.8
+    const ecc::MinSumDecoder decoder(code);
+    const auto defaults = chip->model().defaultVoltages();
+
+    const nand::OracleSearch oracle;
+    int default_ok = 0, optimal_ok = 0;
+    const int frames = 6;
+    for (int f = 0; f < frames; ++f) {
+        const int wl = 3 + f;
+        const auto snap = nand::WordlineSnapshot::dataRegion(
+            *chip, 1, wl, 5000 + static_cast<std::uint64_t>(f));
+        const auto vopt = oracle.optimalVoltages(snap, defaults);
+
+        for (const auto *volt : {&defaults, &vopt}) {
+            const auto read = ecc::softReadRange(
+                *chip, 1, wl, chip->grayCode().msbPage(), *volt,
+                ecc::SensingMode::Hard, 6.0,
+                9000 + static_cast<std::uint64_t>(f) * 16, 0, code.n());
+            std::vector<std::uint8_t> truth;
+            chip->trueBits(1, wl, chip->grayCode().msbPage(), 0, code.n(),
+                           truth);
+            std::vector<float> llr(read.llr.size());
+            for (std::size_t i = 0; i < llr.size(); ++i)
+                llr[i] = read.llr[i] * (truth[i] ? -1.0f : 1.0f);
+            const bool ok = decoder.decode(llr).success;
+            (volt == &defaults ? default_ok : optimal_ok) += ok;
+        }
+    }
+    EXPECT_GE(optimal_ok, default_ok);
+    EXPECT_GE(optimal_ok, frames - 1);
+}
+
+} // namespace
+} // namespace flash

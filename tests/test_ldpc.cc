@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <vector>
+
+#include "ecc/ldpc.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace flash::ecc
+{
+namespace
+{
+
+TEST(QcLdpc, StructureIsRegular)
+{
+    const QcLdpc code(31, 3, 16);
+    EXPECT_EQ(code.n(), 31 * 16);
+    EXPECT_EQ(code.checks(), 31 * 3);
+    EXPECT_NEAR(code.rate(), 1.0 - 3.0 / 16.0, 1e-12);
+    for (int c = 0; c < code.checks(); ++c) {
+        EXPECT_EQ(static_cast<int>(code.checkNeighbors(c).size()), 16);
+        for (int v : code.checkNeighbors(c)) {
+            EXPECT_GE(v, 0);
+            EXPECT_LT(v, code.n());
+        }
+    }
+}
+
+TEST(QcLdpc, VariableDegreesAreJ)
+{
+    const QcLdpc code(31, 3, 16);
+    std::vector<int> deg(static_cast<std::size_t>(code.n()), 0);
+    for (int c = 0; c < code.checks(); ++c) {
+        for (int v : code.checkNeighbors(c))
+            ++deg[static_cast<std::size_t>(v)];
+    }
+    for (int v = 0; v < code.n(); ++v)
+        EXPECT_EQ(deg[static_cast<std::size_t>(v)], 3);
+}
+
+TEST(QcLdpc, NoDuplicateEdgesInARow)
+{
+    const QcLdpc code(31, 3, 16);
+    for (int c = 0; c < code.checks(); ++c) {
+        auto nb = code.checkNeighbors(c);
+        std::sort(nb.begin(), nb.end());
+        EXPECT_TRUE(std::adjacent_find(nb.begin(), nb.end()) == nb.end());
+    }
+}
+
+TEST(QcLdpc, RejectsBadParameters)
+{
+    EXPECT_THROW(QcLdpc(1, 3, 16), util::FatalError);
+    EXPECT_THROW(QcLdpc(31, 1, 16), util::FatalError);
+    EXPECT_THROW(QcLdpc(31, 3, 3), util::FatalError);
+}
+
+/** All-zero codeword LLRs with `errors` random flips. */
+std::vector<float>
+channelLlr(const QcLdpc &code, int errors, float mag, std::uint64_t seed)
+{
+    std::vector<float> llr(static_cast<std::size_t>(code.n()), mag);
+    util::Rng rng(seed);
+    for (int e = 0; e < errors; ++e) {
+        llr[rng.uniformInt(static_cast<std::uint64_t>(code.n()))] = -mag;
+    }
+    return llr;
+}
+
+TEST(MinSum, CleanChannelConvergesImmediately)
+{
+    const QcLdpc code(31, 3, 16);
+    const MinSumDecoder dec(code);
+    const auto res = dec.decode(channelLlr(code, 0, 4.0f, 1));
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.iterations, 1);
+}
+
+TEST(MinSum, CorrectsSparseErrors)
+{
+    const QcLdpc code(61, 3, 20); // n = 1220
+    const MinSumDecoder dec(code);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        const auto res = dec.decode(channelLlr(code, 12, 4.0f, seed));
+        EXPECT_TRUE(res.success) << "seed " << seed;
+    }
+}
+
+TEST(MinSum, HardDecisionsReturned)
+{
+    const QcLdpc code(31, 3, 16);
+    const MinSumDecoder dec(code);
+    std::vector<std::uint8_t> hard;
+    const auto res = dec.decode(channelLlr(code, 5, 4.0f, 3), &hard);
+    EXPECT_TRUE(res.success);
+    ASSERT_EQ(static_cast<int>(hard.size()), code.n());
+    for (auto b : hard)
+        EXPECT_EQ(b, 0); // decoded back to the all-zero codeword
+}
+
+TEST(MinSum, FailsUnderHeavyErrors)
+{
+    const QcLdpc code(61, 3, 20);
+    const MinSumDecoder dec(code, 30);
+    int failures = 0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        // ~20% raw BER: far beyond any rate-0.85 code's threshold.
+        const auto res =
+            dec.decode(channelLlr(code, code.n() / 5, 4.0f, seed));
+        failures += !res.success;
+    }
+    EXPECT_GE(failures, 4);
+}
+
+TEST(MinSum, ErrorRateThresholdIsMonotone)
+{
+    const QcLdpc code(61, 3, 20);
+    const MinSumDecoder dec(code);
+    int prev_success = 10;
+    for (int errors : {10, 40, 120, 300}) {
+        int ok = 0;
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            ok += dec.decode(channelLlr(code, errors, 4.0f,
+                                        seed * 31 + errors))
+                      .success;
+        }
+        EXPECT_LE(ok, prev_success + 1) << errors;
+        prev_success = ok;
+    }
+}
+
+TEST(MinSum, SoftInformationBeatsErasures)
+{
+    // Marking error positions with weak magnitude (soft information)
+    // must decode at error weights where strong wrong LLRs fail.
+    const QcLdpc code(61, 3, 20);
+    const MinSumDecoder dec(code);
+    util::Rng rng(7);
+    const int errors = 80;
+
+    int hard_ok = 0, soft_ok = 0;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        std::vector<float> hard(static_cast<std::size_t>(code.n()), 4.0f);
+        std::vector<float> soft(static_cast<std::size_t>(code.n()), 4.0f);
+        util::Rng r2(seed);
+        for (int e = 0; e < errors; ++e) {
+            const auto p =
+                r2.uniformInt(static_cast<std::uint64_t>(code.n()));
+            hard[p] = -4.0f;
+            soft[p] = -0.5f; // error flagged as low confidence
+        }
+        hard_ok += dec.decode(hard).success;
+        soft_ok += dec.decode(soft).success;
+    }
+    EXPECT_GE(soft_ok, hard_ok);
+    EXPECT_GE(soft_ok, 6);
+}
+
+TEST(MinSum, RejectsSizeMismatch)
+{
+    const QcLdpc code(31, 3, 16);
+    const MinSumDecoder dec(code);
+    std::vector<float> bad(10, 1.0f);
+    EXPECT_THROW(dec.decode(bad), util::FatalError);
+}
+
+TEST(MinSum, IterationBudgetRespected)
+{
+    const QcLdpc code(31, 3, 16);
+    const MinSumDecoder dec(code, 5);
+    const auto res = dec.decode(channelLlr(code, code.n() / 4, 4.0f, 1));
+    EXPECT_LE(res.iterations, 5);
+}
+
+} // namespace
+} // namespace flash::ecc

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "util/linear_fit.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace flash::util
+{
+namespace
+{
+
+TEST(LinearFit, ExactLine)
+{
+    std::vector<double> x{0, 1, 2, 3};
+    std::vector<double> y{1, 3, 5, 7};
+    const LinearFit f = linearFit(x, y);
+    EXPECT_NEAR(f.slope, 2.0, 1e-12);
+    EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(f.r2, 1.0, 1e-12);
+    EXPECT_EQ(f.n, 4u);
+    EXPECT_NEAR(f(10.0), 21.0, 1e-12);
+}
+
+TEST(LinearFit, NegativeSlope)
+{
+    std::vector<double> x{0, 1, 2};
+    std::vector<double> y{4, 2, 0};
+    const LinearFit f = linearFit(x, y);
+    EXPECT_NEAR(f.slope, -2.0, 1e-12);
+    EXPECT_NEAR(f.intercept, 4.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyDataRecoversSlope)
+{
+    Rng rng(99);
+    std::vector<double> x, y;
+    for (int i = 0; i < 1000; ++i) {
+        const double t = rng.uniform(-10.0, 10.0);
+        x.push_back(t);
+        y.push_back(0.7 * t - 2.0 + rng.gaussian(0.0, 0.5));
+    }
+    const LinearFit f = linearFit(x, y);
+    EXPECT_NEAR(f.slope, 0.7, 0.02);
+    EXPECT_NEAR(f.intercept, -2.0, 0.1);
+    EXPECT_GT(f.r2, 0.9);
+}
+
+TEST(LinearFit, ConstantYHasFullR2)
+{
+    std::vector<double> x{0, 1, 2};
+    std::vector<double> y{5, 5, 5};
+    const LinearFit f = linearFit(x, y);
+    EXPECT_NEAR(f.slope, 0.0, 1e-12);
+    EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+    EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, LowR2ForScatter)
+{
+    std::vector<double> x{0, 1, 2, 3, 4, 5};
+    std::vector<double> y{0, 5, -4, 6, -5, 1};
+    const LinearFit f = linearFit(x, y);
+    EXPECT_LT(f.r2, 0.5);
+}
+
+TEST(LinearFit, SizeMismatchFatal)
+{
+    EXPECT_THROW(linearFit({1, 2}, {1}), FatalError);
+}
+
+TEST(LinearFit, TooFewSamplesFatal)
+{
+    EXPECT_THROW(linearFit({1}, {1}), FatalError);
+}
+
+TEST(LinearFit, DegenerateXFatal)
+{
+    EXPECT_THROW(linearFit({2, 2, 2}, {1, 2, 3}), FatalError);
+}
+
+TEST(LinearFit, DefaultPredictsZero)
+{
+    LinearFit f;
+    EXPECT_EQ(f(123.0), 0.0);
+}
+
+} // namespace
+} // namespace flash::util

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "nandsim/oracle.hh"
+#include "test_support.hh"
+
+namespace flash::nand
+{
+namespace
+{
+
+class OracleTest : public ::testing::Test
+{
+  protected:
+    OracleTest() : chip(tinyQlcGeometry(), qlcVoltageParams(), 3) {}
+
+    Chip chip;
+    OracleSearch oracle;
+};
+
+TEST_F(OracleTest, FreshChipOptimalNearDefault)
+{
+    const auto snap = WordlineSnapshot::dataRegion(chip, 0, 0, 1);
+    const auto defaults = chip.model().defaultVoltages();
+    for (int k = 2; k <= 14; ++k) {
+        const auto opt = oracle.optimalBoundary(snap, k, defaults[k]);
+        EXPECT_LE(std::abs(opt.offset), 15) << "k=" << k;
+    }
+}
+
+TEST_F(OracleTest, OptimalNeverWorseThanDefault)
+{
+    chip.setPeCycles(0, 3000);
+    chip.age(0, 8760.0, 25.0);
+    const auto snap = WordlineSnapshot::dataRegion(chip, 0, 0, 1);
+    const auto defaults = chip.model().defaultVoltages();
+    for (int k = 1; k <= 15; ++k) {
+        const auto opt = oracle.optimalBoundary(snap, k, defaults[k]);
+        EXPECT_LE(opt.errors, opt.defaultErrors) << "k=" << k;
+    }
+}
+
+TEST_F(OracleTest, AgedChipOptimalShiftsDown)
+{
+    chip.setPeCycles(0, 3000);
+    chip.age(0, 8760.0, 25.0);
+    const auto snap = WordlineSnapshot::dataRegion(chip, 0, 0, 1);
+    const auto defaults = chip.model().defaultVoltages();
+    int negative = 0;
+    for (int k = 2; k <= 15; ++k) {
+        negative +=
+            oracle.optimalBoundary(snap, k, defaults[k]).offset < 0;
+    }
+    EXPECT_GE(negative, 12); // retention: nearly all boundaries move down
+}
+
+TEST_F(OracleTest, OptimalIsTrueMinimumInWindow)
+{
+    chip.setPeCycles(0, 2000);
+    chip.age(0, 4380.0, 25.0);
+    const auto snap = WordlineSnapshot::dataRegion(chip, 0, 2, 1);
+    const int k = 8;
+    const int vd = chip.model().defaultVoltage(k);
+    const auto opt = oracle.optimalBoundary(snap, k, vd);
+    for (int off = -120; off <= 80; off += 7)
+        EXPECT_GE(snap.boundaryErrors(k, vd + off), opt.errors);
+}
+
+TEST_F(OracleTest, OptimalVoltagesVectorShape)
+{
+    const auto snap = WordlineSnapshot::dataRegion(chip, 0, 0, 1);
+    const auto defaults = chip.model().defaultVoltages();
+    const auto v = oracle.optimalVoltages(snap, defaults);
+    ASSERT_EQ(v.size(), defaults.size());
+    for (int k = 2; k < snap.states(); ++k)
+        EXPECT_GT(v[static_cast<std::size_t>(k)],
+                  v[static_cast<std::size_t>(k - 1)]);
+}
+
+TEST_F(OracleTest, OptimalOffsetsMatchOptimalVoltages)
+{
+    chip.setPeCycles(0, 1000);
+    chip.age(0, 720.0, 25.0);
+    const auto snap = WordlineSnapshot::dataRegion(chip, 0, 1, 1);
+    const auto defaults = chip.model().defaultVoltages();
+    const auto offs = oracle.optimalOffsets(snap, defaults);
+    const auto volts = oracle.optimalVoltages(snap, defaults);
+    for (int k = 1; k < snap.states(); ++k) {
+        EXPECT_EQ(defaults[static_cast<std::size_t>(k)]
+                      + offs[static_cast<std::size_t>(k)].offset,
+                  volts[static_cast<std::size_t>(k)]);
+    }
+}
+
+TEST_F(OracleTest, PlateauMidpointOnSyntheticData)
+{
+    // Construct a wordline with only two states so the zero-error
+    // plateau is wide; the oracle should return its midpoint-ish.
+    Chip c(tinyQlcGeometry(), qlcVoltageParams(), 9);
+    WordlineContent content;
+    std::vector<std::uint8_t> states(
+        static_cast<std::size_t>(c.geometry().bitlines()));
+    for (std::size_t i = 0; i < states.size(); ++i)
+        states[i] = (i % 2) ? 8 : 7;
+    content.explicitStates = std::move(states);
+    c.programWordline(0, 0, content);
+
+    const auto snap = WordlineSnapshot::dataRegion(c, 0, 0, 1);
+    const int vd = c.model().defaultVoltage(8);
+    const auto opt = oracle.optimalBoundary(snap, 8, vd);
+    // The heavy-tail population keeps a small error floor even on a
+    // fresh chip; the optimum must sit near the crossing regardless.
+    EXPECT_LE(opt.errors, 40u);
+    EXPECT_LE(std::abs(opt.offset), 12);
+}
+
+TEST_F(OracleTest, CustomSearchWindowRespected)
+{
+    OracleSearch narrow(-5, 5);
+    chip.setPeCycles(0, 5000);
+    chip.age(0, 8760.0, 25.0);
+    const auto snap = WordlineSnapshot::dataRegion(chip, 0, 0, 1);
+    const int vd = chip.model().defaultVoltage(8);
+    const auto opt = narrow.optimalBoundary(snap, 8, vd);
+    EXPECT_GE(opt.offset, -5);
+    EXPECT_LE(opt.offset, 5);
+}
+
+} // namespace
+} // namespace flash::nand

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/polyfit.hh"
+#include "util/rng.hh"
+
+namespace flash::util
+{
+namespace
+{
+
+TEST(Polynomial, DefaultIsInvalidAndZero)
+{
+    Polynomial p;
+    EXPECT_FALSE(p.valid());
+    EXPECT_EQ(p(3.0), 0.0);
+    EXPECT_EQ(p.degree(), 0u);
+}
+
+TEST(Polyfit, RecoversLine)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back(i);
+        y.push_back(3.0 * i - 7.0);
+    }
+    const Polynomial p = polyfit(x, y, 1);
+    EXPECT_TRUE(p.valid());
+    for (double t : {-5.0, 0.0, 3.5, 19.0, 40.0})
+        EXPECT_NEAR(p(t), 3.0 * t - 7.0, 1e-9);
+    EXPECT_LT(polyfitRmse(p, x, y), 1e-9);
+}
+
+TEST(Polyfit, RecoversCubicExactly)
+{
+    auto f = [](double t) { return 0.5 * t * t * t - 2.0 * t + 1.0; };
+    std::vector<double> x, y;
+    for (int i = -10; i <= 10; ++i) {
+        x.push_back(i);
+        y.push_back(f(i));
+    }
+    const Polynomial p = polyfit(x, y, 3);
+    for (double t : {-9.5, -1.0, 0.0, 2.5, 9.9})
+        EXPECT_NEAR(p(t), f(t), 1e-8);
+}
+
+TEST(Polyfit, Degree5IsWellConditioned)
+{
+    // The factory characterization fits degree 5 over d in [-0.1, 0.1]
+    // against offsets up to ~60; the normalization must keep that
+    // stable.
+    auto f = [](double d) {
+        return -600.0 * d + 4000.0 * d * d * d;
+    };
+    std::vector<double> x, y;
+    for (int i = 0; i <= 200; ++i) {
+        const double d = -0.1 + 0.001 * i;
+        x.push_back(d);
+        y.push_back(f(d));
+    }
+    const Polynomial p = polyfit(x, y, 5);
+    EXPECT_LT(polyfitRmse(p, x, y), 1e-6);
+    EXPECT_NEAR(p(0.05), f(0.05), 1e-6);
+}
+
+TEST(Polyfit, OverdeterminedNoisyFit)
+{
+    Rng rng(5);
+    std::vector<double> x, y;
+    for (int i = 0; i < 500; ++i) {
+        const double t = rng.uniform(-1.0, 1.0);
+        x.push_back(t);
+        y.push_back(2.0 * t * t + rng.gaussian(0.0, 0.05));
+    }
+    const Polynomial p = polyfit(x, y, 2);
+    EXPECT_NEAR(p(0.5), 0.5, 0.03);
+    EXPECT_LT(polyfitRmse(p, x, y), 0.08);
+}
+
+TEST(Polyfit, DegreeZeroIsMean)
+{
+    std::vector<double> x{1, 2, 3};
+    std::vector<double> y{5, 7, 9};
+    const Polynomial p = polyfit(x, y, 0);
+    EXPECT_NEAR(p(100.0), 7.0, 1e-9);
+}
+
+TEST(Polyfit, SizeMismatchFatal)
+{
+    EXPECT_THROW(polyfit({1, 2}, {1}, 1), FatalError);
+}
+
+TEST(Polyfit, TooFewSamplesFatal)
+{
+    EXPECT_THROW(polyfit({1, 2}, {1, 2}, 2), FatalError);
+}
+
+TEST(Polyfit, DegenerateXFatal)
+{
+    // All x identical: normal equations singular.
+    std::vector<double> x{3, 3, 3, 3};
+    std::vector<double> y{1, 2, 3, 4};
+    EXPECT_THROW(polyfit(x, y, 1), FatalError);
+}
+
+TEST(PolyfitRmse, ZeroForExactFit)
+{
+    std::vector<double> x{0, 1, 2};
+    std::vector<double> y{1, 3, 5};
+    const Polynomial p = polyfit(x, y, 1);
+    EXPECT_NEAR(polyfitRmse(p, x, y), 0.0, 1e-10);
+}
+
+TEST(PolyfitRmse, EmptyIsZero)
+{
+    Polynomial p;
+    EXPECT_EQ(polyfitRmse(p, {}, {}), 0.0);
+}
+
+} // namespace
+} // namespace flash::util

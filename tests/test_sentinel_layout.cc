@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/sentinel_layout.hh"
+#include "util/logging.hh"
+
+namespace flash::core
+{
+namespace
+{
+
+TEST(SentinelLayout, DefaultBoundaryIsMidBoundary)
+{
+    EXPECT_EQ(defaultSentinelBoundary(nand::CellType::TLC), 4);  // V4
+    EXPECT_EQ(defaultSentinelBoundary(nand::CellType::QLC), 8);  // V8
+}
+
+TEST(SentinelLayout, ResolveUsesDefaultWhenUnset)
+{
+    SentinelConfig cfg;
+    EXPECT_EQ(resolveSentinelBoundary(nand::paperTlcGeometry(), cfg), 4);
+    EXPECT_EQ(resolveSentinelBoundary(nand::paperQlcGeometry(), cfg), 8);
+}
+
+TEST(SentinelLayout, ResolveAcceptsExplicitBoundary)
+{
+    SentinelConfig cfg;
+    cfg.sentinelBoundary = 11;
+    EXPECT_EQ(resolveSentinelBoundary(nand::paperQlcGeometry(), cfg), 11);
+}
+
+TEST(SentinelLayout, ResolveRejectsOutOfRange)
+{
+    SentinelConfig cfg;
+    cfg.sentinelBoundary = 8;
+    EXPECT_THROW(resolveSentinelBoundary(nand::paperTlcGeometry(), cfg),
+                 util::FatalError);
+}
+
+TEST(SentinelLayout, OverlaySitsAtEndOfOob)
+{
+    const auto geom = nand::paperQlcGeometry();
+    SentinelConfig cfg;
+    const auto o = makeOverlay(geom, cfg);
+    EXPECT_EQ(o.start + o.count, geom.bitlines());
+    EXPECT_GE(o.start, geom.dataBitlines); // inside the OOB area
+}
+
+TEST(SentinelLayout, RatioHonored)
+{
+    const auto geom = nand::paperQlcGeometry();
+    SentinelConfig cfg;
+    cfg.ratio = 0.002;
+    const auto o = makeOverlay(geom, cfg);
+    EXPECT_NEAR(static_cast<double>(o.count) / geom.bitlines(), 0.002,
+                0.0001);
+    EXPECT_EQ(o.count % 2, 0); // even split
+}
+
+TEST(SentinelLayout, StatesStraddleTheSentinelVoltage)
+{
+    const auto geom = nand::paperQlcGeometry();
+    SentinelConfig cfg;
+    const auto o = makeOverlay(geom, cfg);
+    EXPECT_EQ(o.lowState, 7);
+    EXPECT_EQ(o.highState, 8);
+
+    const auto tlc = makeOverlay(nand::paperTlcGeometry(), cfg);
+    EXPECT_EQ(tlc.lowState, 3);
+    EXPECT_EQ(tlc.highState, 4);
+}
+
+TEST(SentinelLayout, PaperRatioSweepAllFit)
+{
+    // Table I sweeps 0.02% .. 0.6%; all must fit in the OOB area.
+    const auto geom = nand::paperQlcGeometry();
+    for (double ratio : {0.0002, 0.001, 0.002, 0.004, 0.006}) {
+        SentinelConfig cfg;
+        cfg.ratio = ratio;
+        const auto o = makeOverlay(geom, cfg);
+        EXPECT_LE(o.count, geom.oobBitlines);
+        EXPECT_GE(o.count, 2);
+    }
+}
+
+TEST(SentinelLayout, RejectsBadRatios)
+{
+    const auto geom = nand::paperQlcGeometry();
+    SentinelConfig cfg;
+    cfg.ratio = 0.0;
+    EXPECT_THROW(makeOverlay(geom, cfg), util::FatalError);
+    cfg.ratio = 0.9;
+    EXPECT_THROW(makeOverlay(geom, cfg), util::FatalError);
+    // Ratio larger than the OOB area.
+    cfg.ratio = 0.3;
+    EXPECT_THROW(makeOverlay(geom, cfg), util::FatalError);
+}
+
+TEST(SentinelLayout, OverlayContainsAndStateOf)
+{
+    nand::SentinelOverlay o;
+    o.start = 100;
+    o.count = 4;
+    o.lowState = 7;
+    o.highState = 8;
+    EXPECT_FALSE(o.contains(99));
+    EXPECT_TRUE(o.contains(100));
+    EXPECT_TRUE(o.contains(103));
+    EXPECT_FALSE(o.contains(104));
+    EXPECT_EQ(o.stateOf(0), 7);
+    EXPECT_EQ(o.stateOf(1), 8);
+    EXPECT_EQ(o.stateOf(2), 7);
+}
+
+} // namespace
+} // namespace flash::core

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ecc/soft_sensing.hh"
+#include "test_support.hh"
+
+namespace flash::ecc
+{
+namespace
+{
+
+class SoftSensingTest : public ::testing::Test
+{
+  protected:
+    SoftSensingTest()
+        : chip(nand::tinyQlcGeometry(), nand::qlcVoltageParams(), 21)
+    {
+        chip.setPeCycles(0, 2000);
+        chip.age(0, 4380.0, 25.0);
+        voltages = chip.model().defaultVoltages();
+    }
+
+    nand::Chip chip;
+    std::vector<int> voltages;
+};
+
+TEST_F(SoftSensingTest, SenseOpCounts)
+{
+    EXPECT_EQ(senseOps(SensingMode::Hard), 1);
+    EXPECT_EQ(senseOps(SensingMode::Soft2Bit), 3);
+    EXPECT_EQ(senseOps(SensingMode::Soft3Bit), 7);
+}
+
+TEST_F(SoftSensingTest, ModeNames)
+{
+    EXPECT_STREQ(sensingModeName(SensingMode::Hard), "hard");
+    EXPECT_STREQ(sensingModeName(SensingMode::Soft2Bit), "2-bit soft");
+    EXPECT_STREQ(sensingModeName(SensingMode::Soft3Bit), "3-bit soft");
+}
+
+TEST_F(SoftSensingTest, OutputSizesMatchRange)
+{
+    const auto r = softReadRange(chip, 0, 0, 0, voltages,
+                                 SensingMode::Soft2Bit, 6.0, 100, 0, 512);
+    EXPECT_EQ(r.hardBits.size(), 512u);
+    EXPECT_EQ(r.llr.size(), 512u);
+}
+
+TEST_F(SoftSensingTest, LlrSignMatchesHardBit)
+{
+    for (auto mode : {SensingMode::Hard, SensingMode::Soft2Bit,
+                      SensingMode::Soft3Bit}) {
+        const auto r = softReadRange(chip, 0, 1, 0, voltages, mode, 6.0,
+                                     200, 0, 256);
+        for (std::size_t i = 0; i < r.llr.size(); ++i) {
+            if (r.hardBits[i])
+                EXPECT_LT(r.llr[i], 0.0f);
+            else
+                EXPECT_GT(r.llr[i], 0.0f);
+        }
+    }
+}
+
+TEST_F(SoftSensingTest, HardModeHasConstantMagnitude)
+{
+    const auto r = softReadRange(chip, 0, 0, 0, voltages,
+                                 SensingMode::Hard, 6.0, 300, 0, 256);
+    for (float l : r.llr)
+        EXPECT_FLOAT_EQ(std::abs(l), 2.0f);
+}
+
+TEST_F(SoftSensingTest, SoftModesProduceMultipleMagnitudes)
+{
+    const auto r = softReadRange(chip, 0, 0, 3, voltages,
+                                 SensingMode::Soft3Bit, 6.0, 400, 0, 4096);
+    std::set<float> mags;
+    for (float l : r.llr)
+        mags.insert(std::abs(l));
+    EXPECT_GE(mags.size(), 3u);
+}
+
+TEST_F(SoftSensingTest, CellsFarFromThresholdsGetHighConfidence)
+{
+    const auto r = softReadRange(chip, 0, 0, 0, voltages,
+                                 SensingMode::Soft2Bit, 6.0, 500, 0, 4096);
+    // The vast majority of cells sit far from the single LSB
+    // threshold and should carry the maximum magnitude (4.5).
+    int high = 0;
+    for (float l : r.llr)
+        high += std::abs(std::abs(l) - 4.5f) < 1e-3f;
+    EXPECT_GT(high, static_cast<int>(r.llr.size() * 3 / 4));
+}
+
+TEST_F(SoftSensingTest, MisreadCellsTendToBeLowConfidence)
+{
+    const auto r = softReadRange(chip, 0, 0, 0, voltages,
+                                 SensingMode::Soft3Bit, 6.0, 600, 0,
+                                 chip.geometry().dataBitlines);
+    std::vector<std::uint8_t> truth;
+    chip.trueBits(0, 0, 0, 0, chip.geometry().dataBitlines, truth);
+
+    double err_mag = 0.0, ok_mag = 0.0;
+    int errs = 0, oks = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (r.hardBits[i] != truth[i]) {
+            err_mag += std::abs(r.llr[i]);
+            ++errs;
+        } else {
+            ok_mag += std::abs(r.llr[i]);
+            ++oks;
+        }
+    }
+    ASSERT_GT(errs, 0);
+    ASSERT_GT(oks, 0);
+    // Misread cells sit near thresholds: lower average confidence.
+    EXPECT_LT(err_mag / errs, ok_mag / oks);
+}
+
+TEST_F(SoftSensingTest, DeterministicForSameReadSeqBase)
+{
+    const auto a = softReadRange(chip, 0, 0, 0, voltages,
+                                 SensingMode::Soft2Bit, 6.0, 700, 0, 128);
+    const auto b = softReadRange(chip, 0, 0, 0, voltages,
+                                 SensingMode::Soft2Bit, 6.0, 700, 0, 128);
+    EXPECT_EQ(a.hardBits, b.hardBits);
+    EXPECT_EQ(a.llr, b.llr);
+}
+
+} // namespace
+} // namespace flash::ecc

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "ssd/ssd_sim.hh"
+#include "util/logging.hh"
+
+namespace flash::ssd
+{
+namespace
+{
+
+SsdConfig
+smallConfig()
+{
+    SsdConfig c;
+    c.channels = 2;
+    c.chipsPerChannel = 1;
+    c.diesPerChip = 1;
+    c.planesPerDie = 2;
+    c.blocksPerPlane = 32;
+    c.pagesPerBlock = 64;
+    c.pageKb = 4;
+    c.overprovision = 0.2;
+    return c;
+}
+
+std::vector<trace::TraceRecord>
+simpleTrace(int requests, bool reads, double gap_us, std::uint32_t size)
+{
+    std::vector<trace::TraceRecord> t;
+    for (int i = 0; i < requests; ++i) {
+        trace::TraceRecord r;
+        r.timestampUs = i * gap_us;
+        r.offsetBytes = static_cast<std::uint64_t>(i) * size;
+        r.sizeBytes = size;
+        r.isRead = reads;
+        t.push_back(r);
+    }
+    return t;
+}
+
+TEST(SsdSim, ReadsCompleteWithPositiveLatency)
+{
+    FixedReadCost cost(4);
+    SsdSim sim(smallConfig(), SsdTiming{}, cost, 1);
+    const auto rep = sim.run(simpleTrace(100, true, 1000.0, 4096));
+    EXPECT_EQ(rep.readLatencyUs.count(), 100u);
+    EXPECT_GT(rep.readLatencyUs.min(), 0.0);
+    EXPECT_EQ(rep.pageReads, 100u);
+    EXPECT_EQ(rep.writeLatencyUs.count(), 0u);
+}
+
+TEST(SsdSim, IdleSystemLatencyMatchesServiceTime)
+{
+    FixedReadCost cost(4);
+    const SsdTiming t;
+    const SsdConfig cfg = smallConfig();
+    SsdSim sim(cfg, t, cost, 1);
+    const auto rep = sim.run(simpleTrace(10, true, 1e6, 4096));
+    const double service = (t.readBaseUs + t.decodeUs) + 4 * t.senseUs
+        + cfg.pageKb * t.transferUsPerKb;
+    EXPECT_NEAR(rep.readLatencyUs.mean(), service, 1e-6);
+}
+
+TEST(SsdSim, MoreSensesMeansMoreLatency)
+{
+    FixedReadCost cheap(4);
+    FixedReadCost expensive(30);
+    SsdSim a(smallConfig(), SsdTiming{}, cheap, 1);
+    SsdSim b(smallConfig(), SsdTiming{}, expensive, 1);
+    const auto trace = simpleTrace(200, true, 300.0, 4096);
+    EXPECT_LT(a.run(trace).readLatencyUs.mean(),
+              b.run(trace).readLatencyUs.mean());
+}
+
+TEST(SsdSim, ContentionOnOnePlaneQueues)
+{
+    FixedReadCost cost(4);
+    const SsdTiming t;
+    SsdSim sim(smallConfig(), t, cost, 1);
+    // Same page read back-to-back: same plane, zero gap.
+    std::vector<trace::TraceRecord> trace;
+    for (int i = 0; i < 50; ++i) {
+        trace::TraceRecord r;
+        r.timestampUs = 0.0;
+        r.offsetBytes = 0;
+        r.sizeBytes = 4096;
+        r.isRead = true;
+        trace.push_back(r);
+    }
+    const auto rep = sim.run(trace);
+    // The last request waits behind 49 flash ops.
+    const double flash = (t.readBaseUs + t.decodeUs) + 4 * t.senseUs;
+    EXPECT_GT(rep.readLatencyUs.max(), 45 * flash);
+}
+
+TEST(SsdSim, WritesProgramAndCount)
+{
+    FixedReadCost cost(4);
+    SsdSim sim(smallConfig(), SsdTiming{}, cost, 1);
+    const auto rep = sim.run(simpleTrace(50, false, 1000.0, 4096));
+    EXPECT_EQ(rep.writeLatencyUs.count(), 50u);
+    EXPECT_EQ(rep.pageWrites, 50u);
+    EXPECT_GE(rep.writeLatencyUs.min(), SsdTiming{}.programUs);
+}
+
+TEST(SsdSim, MultiPageRequestsSplit)
+{
+    FixedReadCost cost(4);
+    SsdSim sim(smallConfig(), SsdTiming{}, cost, 1);
+    const auto rep = sim.run(simpleTrace(10, true, 1e5, 16384));
+    EXPECT_EQ(rep.pageReads, 40u); // 16 KiB / 4 KiB pages
+}
+
+TEST(SsdSim, ReportCarriesPolicyName)
+{
+    FixedReadCost cost(4);
+    SsdSim sim(smallConfig(), SsdTiming{}, cost, 1);
+    const auto rep = sim.run(simpleTrace(5, true, 100.0, 4096));
+    EXPECT_EQ(rep.policy, "fixed");
+}
+
+TEST(SsdSim, SustainedWritesTriggerGcEventually)
+{
+    FixedReadCost cost(4);
+    SsdConfig cfg = smallConfig();
+    SsdSim sim(cfg, SsdTiming{}, cost, 1);
+    // Overwrite the hot start of the space far beyond raw capacity.
+    std::vector<trace::TraceRecord> trace;
+    const std::uint64_t span = 64ull * 4096;
+    for (int i = 0; i < 30000; ++i) {
+        trace::TraceRecord r;
+        r.timestampUs = i * 10.0;
+        r.offsetBytes = (static_cast<std::uint64_t>(i) * 4096) % span;
+        r.sizeBytes = 4096;
+        r.isRead = false;
+        trace.push_back(r);
+    }
+    const auto rep = sim.run(trace);
+    EXPECT_GT(rep.ftl.gcRuns, 0u);
+}
+
+TEST(EmpiricalReadCost, SamplesFromGivenSet)
+{
+    std::vector<ReadCost> samples{{1, 4, 0}, {3, 12, 1}};
+    EmpiricalReadCost src("test", samples);
+    EXPECT_EQ(src.name(), "test");
+    EXPECT_NEAR(src.meanRetries(), 1.0, 1e-9);
+    EXPECT_NEAR(src.meanSenseOps(), 8.0, 1e-9);
+    util::Rng rng(1);
+    for (int i = 0; i < 20; ++i) {
+        const ReadCost c = src.sample(rng);
+        EXPECT_TRUE((c.attempts == 1 && c.senseOps == 4)
+                    || (c.attempts == 3 && c.senseOps == 12));
+    }
+}
+
+TEST(EmpiricalReadCost, EmptyFatal)
+{
+    EXPECT_THROW(EmpiricalReadCost("x", {}), util::FatalError);
+}
+
+} // namespace
+} // namespace flash::ssd

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace flash::util
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RowsCounted)
+{
+    TextTable t;
+    EXPECT_EQ(t.rows(), 0u);
+    t.row({"x"});
+    t.row({"y"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, WorksWithoutHeader)
+{
+    TextTable t;
+    t.row({"a", "b"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str(), "a  b\n");
+}
+
+TEST(TextTable, RaggedRows)
+{
+    TextTable t;
+    t.row({"a"});
+    t.row({"b", "c", "d"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("d"), std::string::npos);
+}
+
+TEST(Fmt, Decimals)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtSci, Scientific)
+{
+    EXPECT_EQ(fmtSci(0.00123, 2), "1.23e-03");
+    EXPECT_EQ(fmtSci(0.0, 1), "0.0e+00");
+}
+
+TEST(FmtPct, Percentage)
+{
+    EXPECT_EQ(fmtPct(0.74, 1), "74.0%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+    EXPECT_EQ(fmtPct(0.005, 1), "0.5%");
+}
+
+TEST(FmtInt, Integers)
+{
+    EXPECT_EQ(fmtInt(0), "0");
+    EXPECT_EQ(fmtInt(-42), "-42");
+    EXPECT_EQ(fmtInt(1234567), "1234567");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    banner(os, "Figure 3");
+    EXPECT_NE(os.str().find("== Figure 3 =="), std::string::npos);
+}
+
+} // namespace
+} // namespace flash::util

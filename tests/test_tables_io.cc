@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tables_io.hh"
+#include "util/linear_fit.hh"
+#include "util/logging.hh"
+#include "util/polyfit.hh"
+
+namespace flash::core
+{
+namespace
+{
+
+Characterization
+makeBand(double temp)
+{
+    Characterization b;
+    b.tempBandC = temp;
+    b.sentinelBoundary = 8;
+    b.samples = 123;
+    b.dFitRmse = 3.25;
+    std::vector<double> xs, ys;
+    for (int i = -10; i <= 10; ++i) {
+        xs.push_back(i * 0.01);
+        ys.push_back(i * 0.01 * 420.0 + temp * 0.01);
+    }
+    b.dToVopt = util::polyfit(xs, ys, 5);
+    b.crossVoltage.resize(16);
+    for (int k = 1; k <= 15; ++k) {
+        auto &f = b.crossVoltage[static_cast<std::size_t>(k)];
+        f.slope = 2.0 - k / 8.0;
+        f.intercept = -0.5 * k;
+        f.r2 = 0.9;
+        f.n = 100;
+    }
+    return b;
+}
+
+TEST(TablesIo, RoundTripSingleBand)
+{
+    const std::vector<Characterization> in{makeBand(25.0)};
+    std::stringstream ss;
+    saveTables(ss, in);
+    const auto out = loadTables(ss);
+    ASSERT_EQ(out.size(), 1u);
+    const auto &a = in[0];
+    const auto &b = out[0];
+    EXPECT_EQ(b.tempBandC, a.tempBandC);
+    EXPECT_EQ(b.sentinelBoundary, a.sentinelBoundary);
+    EXPECT_EQ(b.samples, a.samples);
+    EXPECT_DOUBLE_EQ(b.dFitRmse, a.dFitRmse);
+    // Polynomial evaluates identically.
+    for (double d : {-0.09, -0.03, 0.0, 0.04, 0.10})
+        EXPECT_DOUBLE_EQ(b.dToVopt(d), a.dToVopt(d)) << d;
+    // Linear fits identical.
+    ASSERT_EQ(b.crossVoltage.size(), a.crossVoltage.size());
+    for (int k = 1; k <= 15; ++k) {
+        EXPECT_DOUBLE_EQ(b.crossVoltage[static_cast<std::size_t>(k)].slope,
+                         a.crossVoltage[static_cast<std::size_t>(k)].slope);
+        EXPECT_DOUBLE_EQ(
+            b.crossVoltage[static_cast<std::size_t>(k)].intercept,
+            a.crossVoltage[static_cast<std::size_t>(k)].intercept);
+    }
+}
+
+TEST(TablesIo, RoundTripMultipleBands)
+{
+    const std::vector<Characterization> in{makeBand(25.0), makeBand(80.0)};
+    std::stringstream ss;
+    saveTables(ss, in);
+    const auto out = loadTables(ss);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].tempBandC, 25.0);
+    EXPECT_EQ(out[1].tempBandC, 80.0);
+    EXPECT_NE(out[0].dToVopt(0.01), out[1].dToVopt(0.01));
+}
+
+TEST(TablesIo, LoadedTablesDriveSelectBand)
+{
+    const std::vector<Characterization> in{makeBand(25.0), makeBand(80.0)};
+    std::stringstream ss;
+    saveTables(ss, in);
+    const auto out = loadTables(ss);
+    EXPECT_EQ(selectBand(out, 30.0).tempBandC, 25.0);
+    EXPECT_EQ(selectBand(out, 75.0).tempBandC, 80.0);
+}
+
+TEST(TablesIo, CommentsAndBlankLinesIgnored)
+{
+    const std::vector<Characterization> in{makeBand(25.0)};
+    std::stringstream ss;
+    saveTables(ss, in);
+    std::string text = "# leading comment\n\n" + ss.str();
+    std::stringstream annotated(text);
+    EXPECT_EQ(loadTables(annotated).size(), 1u);
+}
+
+TEST(TablesIo, RejectsBadMagic)
+{
+    std::stringstream ss("not-tables v1\nbands 1\n");
+    EXPECT_THROW(loadTables(ss), util::FatalError);
+}
+
+TEST(TablesIo, RejectsBadVersion)
+{
+    std::stringstream ss("sentinelflash-tables v9\nbands 1\n");
+    EXPECT_THROW(loadTables(ss), util::FatalError);
+}
+
+TEST(TablesIo, RejectsTruncatedInput)
+{
+    const std::vector<Characterization> in{makeBand(25.0)};
+    std::stringstream ss;
+    saveTables(ss, in);
+    const std::string text = ss.str();
+    std::stringstream truncated(text.substr(0, text.size() / 2));
+    EXPECT_THROW(loadTables(truncated), util::FatalError);
+}
+
+TEST(TablesIo, RejectsEmptySave)
+{
+    std::stringstream ss;
+    EXPECT_THROW(saveTables(ss, {}), util::FatalError);
+}
+
+TEST(TablesIo, RejectsInvalidBand)
+{
+    std::vector<Characterization> bad(1);
+    bad[0].crossVoltage.resize(16);
+    std::stringstream ss;
+    EXPECT_THROW(saveTables(ss, bad), util::FatalError); // no poly fit
+}
+
+TEST(TablesIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/sentinelflash_tables_test.txt";
+    const std::vector<Characterization> in{makeBand(25.0)};
+    saveTablesFile(path, in);
+    const auto out = loadTablesFile(path);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out[0].dToVopt(0.02), in[0].dToVopt(0.02));
+    std::remove(path.c_str());
+}
+
+TEST(TablesIo, MissingFileFatal)
+{
+    EXPECT_THROW(loadTablesFile("/nonexistent/dir/tables.txt"),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace flash::core

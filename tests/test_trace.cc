@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "trace/msr_workloads.hh"
+#include "util/logging.hh"
+
+namespace flash::trace
+{
+namespace
+{
+
+TEST(MsrWorkloads, EightWorkloadsDefined)
+{
+    const auto ws = msrWorkloads();
+    EXPECT_EQ(ws.size(), 8u);
+    for (const auto &w : ws) {
+        EXPECT_FALSE(w.name.empty());
+        EXPECT_GT(w.meanReqKb, 0.0);
+        EXPECT_GE(w.readRatio, 0.0);
+        EXPECT_LE(w.readRatio, 1.0);
+    }
+}
+
+TEST(MsrWorkloads, LookupByName)
+{
+    const auto w = msrWorkload("usr_0");
+    EXPECT_EQ(w.name, "usr_0");
+    EXPECT_GT(w.readRatio, 0.5); // usr_0 is the read-heavy volume
+    EXPECT_THROW(msrWorkload("nope"), util::FatalError);
+}
+
+TEST(GenerateTrace, RequestCountAndOrdering)
+{
+    const auto t = generateTrace(msrWorkload("hm_0"), 5000, 1);
+    EXPECT_EQ(t.size(), 5000u);
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_GE(t[i].timestampUs, t[i - 1].timestampUs);
+}
+
+TEST(GenerateTrace, Deterministic)
+{
+    const auto a = generateTrace(msrWorkload("hm_0"), 1000, 7);
+    const auto b = generateTrace(msrWorkload("hm_0"), 1000, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].offsetBytes, b[i].offsetBytes);
+        EXPECT_EQ(a[i].isRead, b[i].isRead);
+    }
+    const auto c = generateTrace(msrWorkload("hm_0"), 1000, 8);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].offsetBytes == c[i].offsetBytes;
+    EXPECT_LT(same, 500);
+}
+
+TEST(GenerateTrace, ReadRatioMatchesSpec)
+{
+    for (const auto &w : msrWorkloads()) {
+        const auto t = generateTrace(w, 20000, 3);
+        const auto s = analyzeTrace(t);
+        EXPECT_NEAR(s.readRatio, w.readRatio, 0.08) << w.name;
+    }
+}
+
+TEST(GenerateTrace, MeanSizeRoughlyMatchesSpec)
+{
+    const auto w = msrWorkload("proj_0");
+    const auto t = generateTrace(w, 20000, 5);
+    const auto s = analyzeTrace(t);
+    EXPECT_GT(s.meanSizeKb, w.meanReqKb * 0.5);
+    EXPECT_LT(s.meanSizeKb, w.meanReqKb * 2.5);
+}
+
+TEST(GenerateTrace, OffsetsStayInsideFootprint)
+{
+    const auto w = msrWorkload("rsrch_0");
+    const auto t = generateTrace(w, 10000, 9);
+    const auto footprint = static_cast<std::uint64_t>(
+        w.workingSetMb * 1024 * 1024);
+    for (const auto &r : t) {
+        EXPECT_LT(r.offsetBytes, footprint);
+        EXPECT_GT(r.sizeBytes, 0u);
+    }
+}
+
+TEST(GenerateTrace, OffsetsAreAligned)
+{
+    const auto t = generateTrace(msrWorkload("stg_0"), 2000, 11);
+    for (const auto &r : t) {
+        EXPECT_EQ(r.offsetBytes % 4096, 0u);
+        EXPECT_EQ(r.sizeBytes % 4096, 0u);
+    }
+}
+
+TEST(GenerateTrace, SequentialRunsExist)
+{
+    const auto w = msrWorkload("src1_2"); // highest seqProb
+    const auto t = generateTrace(w, 5000, 13);
+    int sequential = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        sequential += t[i].offsetBytes
+            == t[i - 1].offsetBytes + t[i - 1].sizeBytes;
+    }
+    EXPECT_GT(sequential, 1000);
+}
+
+TEST(GenerateTrace, InterarrivalMatchesSpec)
+{
+    const auto w = msrWorkload("mds_0");
+    const auto t = generateTrace(w, 30000, 17);
+    const auto s = analyzeTrace(t);
+    const double mean_gap = s.durationUs / static_cast<double>(s.requests);
+    EXPECT_NEAR(mean_gap, w.meanInterarrivalUs, w.meanInterarrivalUs * 0.1);
+}
+
+TEST(AnalyzeTrace, EmptyTrace)
+{
+    const auto s = analyzeTrace({});
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.readRatio, 0.0);
+}
+
+TEST(GenerateTrace, BadSpecFatal)
+{
+    WorkloadSpec w = msrWorkload("hm_0");
+    w.readRatio = 1.5;
+    EXPECT_THROW(generateTrace(w, 10, 1), util::FatalError);
+}
+
+} // namespace
+} // namespace flash::trace

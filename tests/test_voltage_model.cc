@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "nandsim/voltage_model.hh"
+#include "util/logging.hh"
+
+namespace flash::nand
+{
+namespace
+{
+
+class VoltageModelTest : public ::testing::Test
+{
+  protected:
+    VoltageModel qlc{CellType::QLC, qlcVoltageParams()};
+    VoltageModel tlc{CellType::TLC, tlcVoltageParams()};
+};
+
+TEST_F(VoltageModelTest, NominalMeansAreMonotone)
+{
+    for (const VoltageModel *m : {&qlc, &tlc}) {
+        for (int s = 1; s < m->states(); ++s)
+            EXPECT_GT(m->nominalMean(s), m->nominalMean(s - 1));
+    }
+}
+
+TEST_F(VoltageModelTest, ProgrammedPitchMatchesPaperNormalization)
+{
+    EXPECT_DOUBLE_EQ(qlc.nominalMean(2) - qlc.nominalMean(1), 128.0);
+    EXPECT_DOUBLE_EQ(tlc.nominalMean(2) - tlc.nominalMean(1), 256.0);
+}
+
+TEST_F(VoltageModelTest, DefaultVoltagesStrictlyIncreasing)
+{
+    for (const VoltageModel *m : {&qlc, &tlc}) {
+        const auto v = m->defaultVoltages();
+        for (int k = 2; k < m->states(); ++k)
+            EXPECT_GT(v[static_cast<std::size_t>(k)],
+                      v[static_cast<std::size_t>(k - 1)]);
+    }
+}
+
+TEST_F(VoltageModelTest, DefaultVoltageBetweenNeighbours)
+{
+    for (int k = 1; k < qlc.states(); ++k) {
+        const int v = qlc.defaultVoltage(k);
+        EXPECT_GT(v, qlc.nominalMean(k - 1));
+        EXPECT_LT(v, qlc.nominalMean(k));
+    }
+}
+
+TEST_F(VoltageModelTest, V1IsSigmaWeightedTowardErase)
+{
+    // With the erase sigma several times the programmed sigma, the
+    // V1 crossing sits much closer to S1 than the arithmetic middle.
+    const double mid =
+        0.5 * (qlc.nominalMean(0) + qlc.nominalMean(1));
+    EXPECT_GT(qlc.defaultVoltage(1), mid);
+}
+
+TEST_F(VoltageModelTest, ArrheniusAccelerates)
+{
+    EXPECT_NEAR(qlc.arrheniusFactor(25.0), 1.0, 1e-9);
+    EXPECT_GT(qlc.arrheniusFactor(80.0), 100.0);
+    EXPECT_LT(qlc.arrheniusFactor(80.0), 10000.0);
+    EXPECT_LT(qlc.arrheniusFactor(0.0), 1.0);
+    // Monotone in temperature.
+    EXPECT_GT(qlc.arrheniusFactor(60.0), qlc.arrheniusFactor(40.0));
+}
+
+TEST_F(VoltageModelTest, RetentionShiftGrowsWithAgeAndWear)
+{
+    BlockAge fresh;
+    EXPECT_DOUBLE_EQ(qlc.retentionShift(fresh), 0.0);
+
+    BlockAge aged;
+    aged.effRetentionHours = 8760.0;
+    const double base = qlc.retentionShift(aged);
+    EXPECT_GT(base, 0.0);
+
+    aged.peCycles = 3000;
+    EXPECT_GT(qlc.retentionShift(aged), base);
+
+    BlockAge longer = aged;
+    longer.effRetentionHours = 3 * 8760.0;
+    EXPECT_GT(qlc.retentionShift(longer), qlc.retentionShift(aged));
+}
+
+TEST_F(VoltageModelTest, SensitivityProfileDecreasesForProgrammedStates)
+{
+    for (int s = 2; s < qlc.states(); ++s) {
+        EXPECT_LT(qlc.stateSensitivity(s, 25.0),
+                  qlc.stateSensitivity(s - 1, 25.0) + 1e-12)
+            << "state " << s;
+    }
+}
+
+TEST_F(VoltageModelTest, EraseSensitivityIsNegative)
+{
+    // The erased state drifts up with retention.
+    EXPECT_LT(qlc.stateSensitivity(0, 25.0), 0.0);
+}
+
+TEST_F(VoltageModelTest, TemperatureTiltsTheProfile)
+{
+    // High retention temperature raises sensitivity of high states
+    // relative to low states.
+    const double low_cold = qlc.stateSensitivity(2, 25.0);
+    const double low_hot = qlc.stateSensitivity(2, 80.0);
+    const double high_cold = qlc.stateSensitivity(14, 25.0);
+    const double high_hot = qlc.stateSensitivity(14, 80.0);
+    EXPECT_LT(low_hot, low_cold);
+    EXPECT_GT(high_hot, high_cold);
+}
+
+TEST_F(VoltageModelTest, StateMeanShiftsDownWithRetention)
+{
+    BlockAge aged;
+    aged.effRetentionHours = 8760.0;
+    aged.peCycles = 3000;
+    for (int s = 1; s < qlc.states(); ++s) {
+        EXPECT_LT(qlc.stateMean(s, aged, 1.0), qlc.nominalMean(s))
+            << "state " << s;
+    }
+}
+
+TEST_F(VoltageModelTest, EraseMeanRisesWithRetentionAndPe)
+{
+    BlockAge aged;
+    aged.effRetentionHours = 8760.0;
+    aged.peCycles = 3000;
+    EXPECT_GT(qlc.stateMean(0, aged, 1.0), qlc.nominalMean(0));
+}
+
+TEST_F(VoltageModelTest, ReadDisturbRaisesEraseStateOnly)
+{
+    BlockAge a;
+    a.readCount = 1000000;
+    EXPECT_GT(qlc.stateMean(0, a, 1.0), qlc.nominalMean(0));
+    EXPECT_DOUBLE_EQ(qlc.stateMean(5, a, 1.0), qlc.nominalMean(5));
+}
+
+TEST_F(VoltageModelTest, SigmaGrowsWithWearAndRetention)
+{
+    BlockAge fresh;
+    BlockAge aged;
+    aged.effRetentionHours = 8760.0;
+    aged.peCycles = 5000;
+    for (int s = 0; s < qlc.states(); ++s) {
+        EXPECT_GT(qlc.stateSigma(s, aged, 1.0),
+                  qlc.stateSigma(s, fresh, 1.0));
+    }
+}
+
+TEST_F(VoltageModelTest, TailPopulationShiftsFurtherAndWider)
+{
+    BlockAge aged;
+    aged.effRetentionHours = 8760.0;
+    aged.peCycles = 3000;
+    for (int s = 1; s < qlc.states(); ++s) {
+        EXPECT_LT(qlc.stateTailMean(s, aged, 1.0),
+                  qlc.stateMean(s, aged, 1.0));
+        EXPECT_GT(qlc.stateTailSigma(s, aged, 1.0),
+                  qlc.stateSigma(s, aged, 1.0));
+    }
+}
+
+TEST_F(VoltageModelTest, TailExtraShiftSaturates)
+{
+    BlockAge heavy;
+    heavy.effRetentionHours = 10 * 8760.0;
+    heavy.peCycles = 10000;
+    const double extra = qlc.stateMean(1, heavy, 1.0)
+        - qlc.stateTailMean(1, heavy, 1.0);
+    EXPECT_LE(extra, qlc.params().tailExtraCapDac + 1e-9);
+}
+
+TEST_F(VoltageModelTest, LayerFactorsDeterministicAndBounded)
+{
+    for (int layer = 0; layer < 64; ++layer) {
+        const double f1 = qlc.layerRetentionFactor(42, 0, layer);
+        const double f2 = qlc.layerRetentionFactor(42, 0, layer);
+        EXPECT_DOUBLE_EQ(f1, f2);
+        EXPECT_GT(f1, 0.25);
+        EXPECT_LT(f1, 2.0);
+        const double s = qlc.layerSigmaFactor(42, 0, layer);
+        EXPECT_GT(s, 0.4);
+        EXPECT_LT(s, 1.6);
+    }
+}
+
+TEST_F(VoltageModelTest, LayerFactorsVaryAcrossLayers)
+{
+    double lo = 10.0, hi = 0.0;
+    for (int layer = 0; layer < 64; ++layer) {
+        const double f = qlc.layerRetentionFactor(42, 0, layer);
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    EXPECT_GT(hi - lo, 0.3); // substantial layer-to-layer variation
+}
+
+TEST_F(VoltageModelTest, GradientMostlySmallSometimesStrong)
+{
+    int strong = 0;
+    const int n = 2000;
+    for (int wl = 0; wl < n; ++wl) {
+        const double g = qlc.wordlineGradient(42, 0, wl);
+        if (std::abs(g) >= qlc.params().gradMagLo - 1e-9)
+            ++strong;
+    }
+    const double frac = strong / static_cast<double>(n);
+    EXPECT_NEAR(frac, qlc.params().gradProb, 0.05);
+}
+
+TEST_F(VoltageModelTest, VthBoundsCoverDistributions)
+{
+    BlockAge aged;
+    aged.effRetentionHours = 8760.0;
+    aged.peCycles = 5000;
+    EXPECT_LT(qlc.vthMin(),
+              qlc.stateMean(0, aged, 1.5) - 5 * qlc.stateSigma(0, aged, 1.3));
+    EXPECT_GT(qlc.vthMax(),
+              qlc.nominalMean(qlc.states() - 1)
+                  + 5 * qlc.stateSigma(qlc.states() - 1, aged, 1.3));
+}
+
+TEST_F(VoltageModelTest, BadSensProfileFatal)
+{
+    VoltageModelParams p = qlcVoltageParams();
+    p.stateSens.pop_back();
+    EXPECT_THROW(VoltageModel(CellType::QLC, p), util::FatalError);
+}
+
+} // namespace
+} // namespace flash::nand
