@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06"
+  "../bench/bench_fig06.pdb"
+  "CMakeFiles/bench_fig06.dir/bench_fig06.cc.o"
+  "CMakeFiles/bench_fig06.dir/bench_fig06.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

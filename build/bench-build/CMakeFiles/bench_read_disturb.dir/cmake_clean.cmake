@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_read_disturb"
+  "../bench/bench_read_disturb.pdb"
+  "CMakeFiles/bench_read_disturb.dir/bench_read_disturb.cc.o"
+  "CMakeFiles/bench_read_disturb.dir/bench_read_disturb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_read_disturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

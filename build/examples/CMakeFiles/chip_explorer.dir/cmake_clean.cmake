@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_explorer.dir/chip_explorer.cpp.o"
+  "CMakeFiles/chip_explorer.dir/chip_explorer.cpp.o.d"
+  "chip_explorer"
+  "chip_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/factory_calibration.cpp" "examples/CMakeFiles/factory_calibration.dir/factory_calibration.cpp.o" "gcc" "examples/CMakeFiles/factory_calibration.dir/factory_calibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssd/CMakeFiles/flash_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/flash_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/flash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/flash_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nandsim/CMakeFiles/flash_nandsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

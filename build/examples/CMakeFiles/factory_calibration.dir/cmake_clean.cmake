@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factory_calibration.dir/factory_calibration.cpp.o"
+  "CMakeFiles/factory_calibration.dir/factory_calibration.cpp.o.d"
+  "factory_calibration"
+  "factory_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factory_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

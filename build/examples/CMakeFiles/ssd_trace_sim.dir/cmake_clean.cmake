@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_trace_sim.dir/ssd_trace_sim.cpp.o"
+  "CMakeFiles/ssd_trace_sim.dir/ssd_trace_sim.cpp.o.d"
+  "ssd_trace_sim"
+  "ssd_trace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_trace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cc" "src/core/CMakeFiles/flash_core.dir/calibration.cc.o" "gcc" "src/core/CMakeFiles/flash_core.dir/calibration.cc.o.d"
+  "/root/repo/src/core/characterization.cc" "src/core/CMakeFiles/flash_core.dir/characterization.cc.o" "gcc" "src/core/CMakeFiles/flash_core.dir/characterization.cc.o.d"
+  "/root/repo/src/core/error_difference.cc" "src/core/CMakeFiles/flash_core.dir/error_difference.cc.o" "gcc" "src/core/CMakeFiles/flash_core.dir/error_difference.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/flash_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/flash_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/inference.cc" "src/core/CMakeFiles/flash_core.dir/inference.cc.o" "gcc" "src/core/CMakeFiles/flash_core.dir/inference.cc.o.d"
+  "/root/repo/src/core/read_policy.cc" "src/core/CMakeFiles/flash_core.dir/read_policy.cc.o" "gcc" "src/core/CMakeFiles/flash_core.dir/read_policy.cc.o.d"
+  "/root/repo/src/core/sentinel_layout.cc" "src/core/CMakeFiles/flash_core.dir/sentinel_layout.cc.o" "gcc" "src/core/CMakeFiles/flash_core.dir/sentinel_layout.cc.o.d"
+  "/root/repo/src/core/tables_io.cc" "src/core/CMakeFiles/flash_core.dir/tables_io.cc.o" "gcc" "src/core/CMakeFiles/flash_core.dir/tables_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nandsim/CMakeFiles/flash_nandsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/flash_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

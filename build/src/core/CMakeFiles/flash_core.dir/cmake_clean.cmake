@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_core.dir/calibration.cc.o"
+  "CMakeFiles/flash_core.dir/calibration.cc.o.d"
+  "CMakeFiles/flash_core.dir/characterization.cc.o"
+  "CMakeFiles/flash_core.dir/characterization.cc.o.d"
+  "CMakeFiles/flash_core.dir/error_difference.cc.o"
+  "CMakeFiles/flash_core.dir/error_difference.cc.o.d"
+  "CMakeFiles/flash_core.dir/evaluator.cc.o"
+  "CMakeFiles/flash_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/flash_core.dir/inference.cc.o"
+  "CMakeFiles/flash_core.dir/inference.cc.o.d"
+  "CMakeFiles/flash_core.dir/read_policy.cc.o"
+  "CMakeFiles/flash_core.dir/read_policy.cc.o.d"
+  "CMakeFiles/flash_core.dir/sentinel_layout.cc.o"
+  "CMakeFiles/flash_core.dir/sentinel_layout.cc.o.d"
+  "CMakeFiles/flash_core.dir/tables_io.cc.o"
+  "CMakeFiles/flash_core.dir/tables_io.cc.o.d"
+  "libflash_core.a"
+  "libflash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

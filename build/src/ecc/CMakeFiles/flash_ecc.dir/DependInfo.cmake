@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cc" "src/ecc/CMakeFiles/flash_ecc.dir/bch.cc.o" "gcc" "src/ecc/CMakeFiles/flash_ecc.dir/bch.cc.o.d"
+  "/root/repo/src/ecc/ecc_model.cc" "src/ecc/CMakeFiles/flash_ecc.dir/ecc_model.cc.o" "gcc" "src/ecc/CMakeFiles/flash_ecc.dir/ecc_model.cc.o.d"
+  "/root/repo/src/ecc/gf2m.cc" "src/ecc/CMakeFiles/flash_ecc.dir/gf2m.cc.o" "gcc" "src/ecc/CMakeFiles/flash_ecc.dir/gf2m.cc.o.d"
+  "/root/repo/src/ecc/ldpc.cc" "src/ecc/CMakeFiles/flash_ecc.dir/ldpc.cc.o" "gcc" "src/ecc/CMakeFiles/flash_ecc.dir/ldpc.cc.o.d"
+  "/root/repo/src/ecc/soft_sensing.cc" "src/ecc/CMakeFiles/flash_ecc.dir/soft_sensing.cc.o" "gcc" "src/ecc/CMakeFiles/flash_ecc.dir/soft_sensing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nandsim/CMakeFiles/flash_nandsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

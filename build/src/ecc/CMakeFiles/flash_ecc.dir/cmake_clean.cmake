@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_ecc.dir/bch.cc.o"
+  "CMakeFiles/flash_ecc.dir/bch.cc.o.d"
+  "CMakeFiles/flash_ecc.dir/ecc_model.cc.o"
+  "CMakeFiles/flash_ecc.dir/ecc_model.cc.o.d"
+  "CMakeFiles/flash_ecc.dir/gf2m.cc.o"
+  "CMakeFiles/flash_ecc.dir/gf2m.cc.o.d"
+  "CMakeFiles/flash_ecc.dir/ldpc.cc.o"
+  "CMakeFiles/flash_ecc.dir/ldpc.cc.o.d"
+  "CMakeFiles/flash_ecc.dir/soft_sensing.cc.o"
+  "CMakeFiles/flash_ecc.dir/soft_sensing.cc.o.d"
+  "libflash_ecc.a"
+  "libflash_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

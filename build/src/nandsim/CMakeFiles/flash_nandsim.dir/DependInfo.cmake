@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nandsim/chip.cc" "src/nandsim/CMakeFiles/flash_nandsim.dir/chip.cc.o" "gcc" "src/nandsim/CMakeFiles/flash_nandsim.dir/chip.cc.o.d"
+  "/root/repo/src/nandsim/geometry.cc" "src/nandsim/CMakeFiles/flash_nandsim.dir/geometry.cc.o" "gcc" "src/nandsim/CMakeFiles/flash_nandsim.dir/geometry.cc.o.d"
+  "/root/repo/src/nandsim/gray_code.cc" "src/nandsim/CMakeFiles/flash_nandsim.dir/gray_code.cc.o" "gcc" "src/nandsim/CMakeFiles/flash_nandsim.dir/gray_code.cc.o.d"
+  "/root/repo/src/nandsim/oracle.cc" "src/nandsim/CMakeFiles/flash_nandsim.dir/oracle.cc.o" "gcc" "src/nandsim/CMakeFiles/flash_nandsim.dir/oracle.cc.o.d"
+  "/root/repo/src/nandsim/snapshot.cc" "src/nandsim/CMakeFiles/flash_nandsim.dir/snapshot.cc.o" "gcc" "src/nandsim/CMakeFiles/flash_nandsim.dir/snapshot.cc.o.d"
+  "/root/repo/src/nandsim/voltage_model.cc" "src/nandsim/CMakeFiles/flash_nandsim.dir/voltage_model.cc.o" "gcc" "src/nandsim/CMakeFiles/flash_nandsim.dir/voltage_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

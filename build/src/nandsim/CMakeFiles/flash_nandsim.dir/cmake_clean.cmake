@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_nandsim.dir/chip.cc.o"
+  "CMakeFiles/flash_nandsim.dir/chip.cc.o.d"
+  "CMakeFiles/flash_nandsim.dir/geometry.cc.o"
+  "CMakeFiles/flash_nandsim.dir/geometry.cc.o.d"
+  "CMakeFiles/flash_nandsim.dir/gray_code.cc.o"
+  "CMakeFiles/flash_nandsim.dir/gray_code.cc.o.d"
+  "CMakeFiles/flash_nandsim.dir/oracle.cc.o"
+  "CMakeFiles/flash_nandsim.dir/oracle.cc.o.d"
+  "CMakeFiles/flash_nandsim.dir/snapshot.cc.o"
+  "CMakeFiles/flash_nandsim.dir/snapshot.cc.o.d"
+  "CMakeFiles/flash_nandsim.dir/voltage_model.cc.o"
+  "CMakeFiles/flash_nandsim.dir/voltage_model.cc.o.d"
+  "libflash_nandsim.a"
+  "libflash_nandsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_nandsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

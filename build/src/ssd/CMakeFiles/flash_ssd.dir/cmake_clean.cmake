@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_ssd.dir/ftl.cc.o"
+  "CMakeFiles/flash_ssd.dir/ftl.cc.o.d"
+  "CMakeFiles/flash_ssd.dir/read_cost.cc.o"
+  "CMakeFiles/flash_ssd.dir/read_cost.cc.o.d"
+  "CMakeFiles/flash_ssd.dir/ssd_sim.cc.o"
+  "CMakeFiles/flash_ssd.dir/ssd_sim.cc.o.d"
+  "libflash_ssd.a"
+  "libflash_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_trace.dir/msr_workloads.cc.o"
+  "CMakeFiles/flash_trace.dir/msr_workloads.cc.o.d"
+  "CMakeFiles/flash_trace.dir/trace.cc.o"
+  "CMakeFiles/flash_trace.dir/trace.cc.o.d"
+  "libflash_trace.a"
+  "libflash_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_util.dir/histogram.cc.o"
+  "CMakeFiles/flash_util.dir/histogram.cc.o.d"
+  "CMakeFiles/flash_util.dir/linear_fit.cc.o"
+  "CMakeFiles/flash_util.dir/linear_fit.cc.o.d"
+  "CMakeFiles/flash_util.dir/logging.cc.o"
+  "CMakeFiles/flash_util.dir/logging.cc.o.d"
+  "CMakeFiles/flash_util.dir/polyfit.cc.o"
+  "CMakeFiles/flash_util.dir/polyfit.cc.o.d"
+  "CMakeFiles/flash_util.dir/rng.cc.o"
+  "CMakeFiles/flash_util.dir/rng.cc.o.d"
+  "CMakeFiles/flash_util.dir/stats.cc.o"
+  "CMakeFiles/flash_util.dir/stats.cc.o.d"
+  "CMakeFiles/flash_util.dir/table.cc.o"
+  "CMakeFiles/flash_util.dir/table.cc.o.d"
+  "libflash_util.a"
+  "libflash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

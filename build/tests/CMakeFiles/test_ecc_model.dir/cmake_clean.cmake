@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_model.dir/test_ecc_model.cc.o"
+  "CMakeFiles/test_ecc_model.dir/test_ecc_model.cc.o.d"
+  "test_ecc_model"
+  "test_ecc_model.pdb"
+  "test_ecc_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

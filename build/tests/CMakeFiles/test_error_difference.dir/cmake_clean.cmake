@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_difference.dir/test_error_difference.cc.o"
+  "CMakeFiles/test_error_difference.dir/test_error_difference.cc.o.d"
+  "test_error_difference"
+  "test_error_difference.pdb"
+  "test_error_difference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gray_code.dir/test_gray_code.cc.o"
+  "CMakeFiles/test_gray_code.dir/test_gray_code.cc.o.d"
+  "test_gray_code"
+  "test_gray_code.pdb"
+  "test_gray_code[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gray_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

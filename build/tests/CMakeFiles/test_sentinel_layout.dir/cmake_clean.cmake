@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sentinel_layout.dir/test_sentinel_layout.cc.o"
+  "CMakeFiles/test_sentinel_layout.dir/test_sentinel_layout.cc.o.d"
+  "test_sentinel_layout"
+  "test_sentinel_layout.pdb"
+  "test_sentinel_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sentinel_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soft_sensing.dir/test_soft_sensing.cc.o"
+  "CMakeFiles/test_soft_sensing.dir/test_soft_sensing.cc.o.d"
+  "test_soft_sensing"
+  "test_soft_sensing.pdb"
+  "test_soft_sensing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soft_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd_sim.dir/test_ssd_sim.cc.o"
+  "CMakeFiles/test_ssd_sim.dir/test_ssd_sim.cc.o.d"
+  "test_ssd_sim"
+  "test_ssd_sim.pdb"
+  "test_ssd_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

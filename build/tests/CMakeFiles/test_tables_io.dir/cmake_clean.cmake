@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tables_io.dir/test_tables_io.cc.o"
+  "CMakeFiles/test_tables_io.dir/test_tables_io.cc.o.d"
+  "test_tables_io"
+  "test_tables_io.pdb"
+  "test_tables_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tables_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voltage_model.dir/test_voltage_model.cc.o"
+  "CMakeFiles/test_voltage_model.dir/test_voltage_model.cc.o.d"
+  "test_voltage_model"
+  "test_voltage_model.pdb"
+  "test_voltage_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voltage_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
