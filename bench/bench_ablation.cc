@@ -32,12 +32,12 @@ struct AccuracySummary
 
 AccuracySummary
 accuracy(const nand::Chip &chip, const core::Characterization &tables,
-         const nand::SentinelOverlay &overlay)
+         const nand::SentinelOverlay &overlay, int threads)
 {
+    const auto accs = core::evaluateBlockAccuracy(
+        chip, bench::kEvalBlock, tables, overlay, {}, 16, threads);
     int infer_ok = 0, calib_ok = 0, total = 0;
-    for (int wl = 0; wl < chip.geometry().wordlinesPerBlock(); wl += 16) {
-        const auto acc = core::evaluateWordlineAccuracy(
-            chip, bench::kEvalBlock, wl, tables, overlay);
+    for (const auto &acc : accs) {
         for (int k = 1; k < chip.geometry().states(); ++k) {
             infer_ok += acc.boundaries[static_cast<std::size_t>(k)].inferOk;
             calib_ok += acc.boundaries[static_cast<std::size_t>(k)].calibOk;
@@ -48,7 +48,7 @@ accuracy(const nand::Chip &chip, const core::Characterization &tables,
 }
 
 void
-ablationSentinelVoltage()
+ablationSentinelVoltage(int threads)
 {
     util::banner(std::cout,
                  "A. sentinel voltage choice (QLC, P/E 3000 + 1 y)");
@@ -60,13 +60,14 @@ ablationSentinelVoltage()
         core::CharOptions opt;
         opt.sentinel.sentinelBoundary = k_s;
         opt.wordlineStride = 96;
+        opt.threads = threads;
         const auto tables =
             core::FactoryCharacterizer(opt).run(chip);
         const auto overlay =
             core::makeOverlay(chip.geometry(), opt.sentinel);
         chip.programBlock(bench::kEvalBlock, 1, overlay);
         bench::ageBlock(chip, bench::kEvalBlock, 3000);
-        const auto a = accuracy(chip, tables, overlay);
+        const auto a = accuracy(chip, tables, overlay, threads);
         // Assist read cost: number of voltages of the page that
         // senses the sentinel boundary.
         const int page = chip.grayCode().pageOfBoundary(k_s);
@@ -84,12 +85,12 @@ ablationSentinelVoltage()
 }
 
 void
-ablationDelta()
+ablationDelta(int threads)
 {
     util::banner(std::cout,
                  "B. calibration step delta (QLC, P/E 3000 + 1 y)");
     auto chip = bench::makeQlcChip();
-    const auto tables = bench::characterize(chip, 96);
+    const auto tables = bench::characterize(chip, 96, threads);
     const auto overlay =
         core::makeOverlay(chip.geometry(), core::SentinelConfig{});
     chip.programBlock(bench::kEvalBlock, 1, overlay);
@@ -102,10 +103,9 @@ ablationDelta()
         util::RunningStats steps;
         core::AccuracyOptions opt;
         opt.calibration.delta = delta;
-        for (int wl = 0; wl < chip.geometry().wordlinesPerBlock();
-             wl += 16) {
-            const auto acc = core::evaluateWordlineAccuracy(
-                chip, bench::kEvalBlock, wl, tables, overlay, opt);
+        const auto accs = core::evaluateBlockAccuracy(
+            chip, bench::kEvalBlock, tables, overlay, opt, 16, threads);
+        for (const auto &acc : accs) {
             steps.add(acc.calibSteps);
             for (int k = 1; k < chip.geometry().states(); ++k) {
                 calib_ok +=
@@ -124,12 +124,12 @@ ablationDelta()
 }
 
 void
-ablationPlacement()
+ablationPlacement(int threads)
 {
     util::banner(std::cout,
                  "C. sentinel placement in the OOB area (QLC)");
     auto chip = bench::makeQlcChip();
-    const auto tables = bench::characterize(chip, 96);
+    const auto tables = bench::characterize(chip, 96, threads);
     const auto geom = chip.geometry();
 
     util::TextTable table;
@@ -141,7 +141,7 @@ ablationPlacement()
             overlay.start = geom.dataBitlines; // front of the OOB
         chip.programBlock(bench::kEvalBlock, 1, overlay);
         bench::ageBlock(chip, bench::kEvalBlock, 3000);
-        const auto a = accuracy(chip, tables, overlay);
+        const auto a = accuracy(chip, tables, overlay, threads);
         table.row({tail ? "OOB tail (default)" : "OOB front",
                    util::fmt(a.inferPct, 1) + "%",
                    util::fmt(a.calibPct, 1) + "%"});
@@ -154,13 +154,13 @@ ablationPlacement()
 }
 
 void
-ablationCombined()
+ablationCombined(int threads)
 {
     util::banner(std::cout,
                  "D. combined policy: tracked first read + sentinel "
                  "(TLC, P/E 5000 + 1 y)");
     auto chip = bench::makeTlcChip();
-    const auto tables = bench::characterize(chip, 16);
+    const auto tables = bench::characterize(chip, 16, threads);
     const auto overlay =
         core::makeOverlay(chip.geometry(), core::SentinelConfig{});
     chip.programBlock(bench::kEvalBlock, 1, overlay);
@@ -185,7 +185,8 @@ ablationCombined()
                     static_cast<core::ReadPolicy *>(&sentinel),
                     static_cast<core::ReadPolicy *>(&combined)}) {
         const auto stats = core::evaluateBlock(
-            chip, bench::kEvalBlock, *p, ecc_model, overlay, lat, -1, 2);
+            chip, bench::kEvalBlock, *p, ecc_model, overlay, lat, -1, 2,
+            threads);
         int first_ok = 0;
         for (int r : stats.retriesPerWordline)
             first_ok += r == 0;
@@ -205,7 +206,7 @@ ablationCombined()
 }
 
 void
-ablationTemperatureBands()
+ablationTemperatureBands(int threads)
 {
     util::banner(std::cout,
                  "E. temperature-banded correlation tables (paper III-D)");
@@ -215,6 +216,7 @@ ablationTemperatureBands()
     auto chip = bench::makeQlcChip();
     core::CharOptions opt;
     opt.wordlineStride = 96;
+    opt.threads = threads;
     const core::FactoryCharacterizer characterizer(opt);
     const auto bands = characterizer.runBands(chip, {25.0, 80.0});
 
@@ -232,7 +234,7 @@ ablationTemperatureBands()
     util::TextTable table;
     table.header({"tables used", "infer ok", "calib ok"});
     for (const auto &band : bands) {
-        const auto a = accuracy(chip, band, overlay);
+        const auto a = accuracy(chip, band, overlay, threads);
         const bool matched = band.tempBandC > 50.0;
         table.row({(matched ? "80 C band (matched)"
                             : "25 C band (mismatched)"),
@@ -249,15 +251,16 @@ ablationTemperatureBands()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = bench::threadsArg(argc, argv);
     bench::header("Ablations",
                   "design-choice studies beyond the paper's figures",
                   "(no direct paper counterpart; extends Figs 13/15)");
-    ablationSentinelVoltage();
-    ablationDelta();
-    ablationPlacement();
-    ablationCombined();
-    ablationTemperatureBands();
+    ablationSentinelVoltage(threads);
+    ablationDelta(threads);
+    ablationPlacement(threads);
+    ablationCombined(threads);
+    ablationTemperatureBands(threads);
     return 0;
 }

@@ -12,8 +12,9 @@
 using namespace flash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = bench::threadsArg(argc, argv);
     bench::header("Figure 13",
                   "read retries per wordline, current flash vs sentinel "
                   "(TLC, P/E 5000 + 1 y, MSB page)",
@@ -21,7 +22,7 @@ main()
                   "(avg 6.6); sentinel averages 1.2");
 
     auto chip = bench::makeTlcChip();
-    const auto tables = bench::characterize(chip, 8);
+    const auto tables = bench::characterize(chip, 8, threads);
     const auto overlay =
         core::makeOverlay(chip.geometry(), core::SentinelConfig{});
     chip.programBlock(bench::kEvalBlock, bench::kChipSeed ^ 0x13, overlay);
@@ -34,9 +35,11 @@ main()
     core::SentinelPolicy sentinel(tables, chip.model().defaultVoltages());
 
     const auto vs = core::evaluateBlock(chip, bench::kEvalBlock, vendor,
-                                        ecc_model, overlay, lat);
+                                        ecc_model, overlay, lat, -1, 1,
+                                        threads);
     const auto ss = core::evaluateBlock(chip, bench::kEvalBlock, sentinel,
-                                        ecc_model, overlay, lat);
+                                        ecc_model, overlay, lat, -1, 1,
+                                        threads);
 
     util::TextTable table;
     table.header({"wordline", "current flash", "sentinel"});

@@ -15,14 +15,15 @@
 using namespace flash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = bench::threadsArg(argc, argv);
     bench::header("Figure 14",
                   "SSD-level read latency reduction on 8 MSR-like traces",
                   "74% average read-latency reduction");
 
     auto chip = bench::makeTlcChip();
-    const auto tables = bench::characterize(chip, 8);
+    const auto tables = bench::characterize(chip, 8, threads);
     const auto overlay =
         core::makeOverlay(chip.geometry(), core::SentinelConfig{});
     chip.programBlock(bench::kEvalBlock, bench::kChipSeed ^ 0x14, overlay);
@@ -34,9 +35,9 @@ main()
 
     const int msb = chip.grayCode().msbPage();
     auto vcost = ssd::measureReadCost(chip, bench::kEvalBlock, vendor,
-                                      ecc_model, overlay, msb, 2);
+                                      ecc_model, overlay, msb, 2, threads);
     auto scost = ssd::measureReadCost(chip, bench::kEvalBlock, sentinel,
-                                      ecc_model, overlay, msb, 2);
+                                      ecc_model, overlay, msb, 2, threads);
     std::cout << "per-read cost (from the chip experiment): current flash "
               << util::fmt(vcost.meanRetries(), 2) << " retries / "
               << util::fmt(vcost.meanSenseOps(), 1)

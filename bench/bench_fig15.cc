@@ -10,25 +10,27 @@
 using namespace flash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = bench::threadsArg(argc, argv);
     bench::header("Figure 15",
                   "% wordlines achieving the optimal voltage after "
                   "inference / calibration (QLC, P/E 3000 + 1 y)",
                   ">= 83% after inference, >= 94% after calibration");
 
     auto chip = bench::makeQlcChip();
-    const auto tables = bench::characterize(chip, 48);
+    const auto tables = bench::characterize(chip, 48, threads);
     const auto overlay =
         core::makeOverlay(chip.geometry(), core::SentinelConfig{});
     chip.programBlock(bench::kEvalBlock, bench::kChipSeed ^ 0x15, overlay);
     bench::ageBlock(chip, bench::kEvalBlock, 3000);
 
+    const auto accs = core::evaluateBlockAccuracy(
+        chip, bench::kEvalBlock, tables, overlay, {}, 8, threads);
+
     std::vector<int> infer_ok(16, 0), calib_ok(16, 0);
     int wordlines = 0;
-    for (int wl = 0; wl < chip.geometry().wordlinesPerBlock(); wl += 8) {
-        const auto acc = core::evaluateWordlineAccuracy(
-            chip, bench::kEvalBlock, wl, tables, overlay);
+    for (const auto &acc : accs) {
         ++wordlines;
         for (int k = 1; k <= 15; ++k) {
             infer_ok[static_cast<std::size_t>(k)] +=

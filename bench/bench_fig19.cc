@@ -12,6 +12,8 @@
 #include "core/read_policy.hh"
 #include "ecc/ldpc.hh"
 #include "ecc/soft_sensing.hh"
+#include "nandsim/read_seq.hh"
+#include "util/rng.hh"
 
 using namespace flash;
 
@@ -42,8 +44,9 @@ decodeFrame(const nand::Chip &chip, int wl, const std::vector<int> &volts,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = bench::threadsArg(argc, argv);
     bench::header("Figure 19",
                   "LDPC decoding success rate: OPT / current flash / "
                   "sentinel x hard / 2-bit / 3-bit soft, P/E 0..5K + 1 y "
@@ -53,7 +56,7 @@ main()
                   "2-bit decoding; soft sensing recovers it");
 
     auto chip = bench::makeQlcChip();
-    const auto tables = bench::characterize(chip, 48);
+    const auto tables = bench::characterize(chip, 48, threads);
     const auto overlay =
         core::makeOverlay(chip.geometry(), core::SentinelConfig{});
     chip.programBlock(bench::kEvalBlock, bench::kChipSeed ^ 0x19, overlay);
@@ -79,37 +82,64 @@ main()
     util::TextTable table;
     table.header({"sensing", "P/E", "OPT", "current flash", "sentinel"});
 
-    std::uint64_t seq = 0x100000;
+    std::size_t mode_idx = 0;
     for (const auto mode : modes) {
+        ++mode_idx;
         for (std::uint32_t pe : {0u, 1000u, 2000u, 3000u, 4000u, 5000u}) {
             bench::ageBlock(chip, bench::kEvalBlock, pe);
 
             core::VendorRetryPolicy vendor(chip.model());
             core::SentinelPolicy sentinel(tables, defaults);
 
-            int opt_ok = 0, cur_ok = 0, sen_ok = 0;
-            for (int f = 0; f < kFrames; ++f) {
+            // Aging above is the last chip mutation: frames only read,
+            // each drawing its noise from (mode, P/E, wordline), so
+            // the Monte-Carlo loop runs on any number of threads with
+            // bit-identical counts. The policy contexts share one
+            // clock stream (a paired comparison: vendor and sentinel
+            // see the same noise); the decode reads use a second
+            // stream so the sequences don't overlap.
+            const nand::ReadClock ctx_clock(
+                util::hashWords({0xF19, mode_idx, pe, 0}));
+            const nand::ReadClock dec_clock(
+                util::hashWords({0xF19, mode_idx, pe, 1}));
+
+            struct FrameOk
+            {
+                int opt = 0, cur = 0, sen = 0;
+            };
+            std::vector<FrameOk> ok(kFrames);
+            util::parallelFor(threads, kFrames, [&](int f) {
                 const int wl = 40 * f + 7;
+                nand::ReadSeq seq =
+                    dec_clock.session(bench::kEvalBlock, wl);
+                FrameOk &r = ok[static_cast<std::size_t>(f)];
 
                 const auto snap = nand::WordlineSnapshot::dataRegion(
-                    chip, bench::kEvalBlock, wl, seq++);
+                    chip, bench::kEvalBlock, wl, seq.next());
                 const auto vopt = oracle.optimalVoltages(snap, defaults);
-                opt_ok += decodeFrame(chip, wl, vopt, mode, full_code,
-                                      full_dec, seq += 8);
+                r.opt = decodeFrame(chip, wl, vopt, mode, full_code,
+                                    full_dec, seq.next());
 
                 core::ReadContext vctx(chip, bench::kEvalBlock, wl,
                                        chip.grayCode().msbPage(),
-                                       ecc_model, overlay);
+                                       ecc_model, overlay, ctx_clock);
                 const auto vses = vendor.read(vctx);
-                cur_ok += decodeFrame(chip, wl, vses.finalVoltages, mode,
-                                      full_code, full_dec, seq += 8);
+                r.cur = decodeFrame(chip, wl, vses.finalVoltages, mode,
+                                    full_code, full_dec, seq.next());
 
                 core::ReadContext sctx(chip, bench::kEvalBlock, wl,
                                        chip.grayCode().msbPage(),
-                                       ecc_model, overlay);
+                                       ecc_model, overlay, ctx_clock);
                 const auto sses = sentinel.read(sctx);
-                sen_ok += decodeFrame(chip, wl, sses.finalVoltages, mode,
-                                      sentinel_code, sent_dec, seq += 8);
+                r.sen = decodeFrame(chip, wl, sses.finalVoltages, mode,
+                                    sentinel_code, sent_dec, seq.next());
+            });
+
+            int opt_ok = 0, cur_ok = 0, sen_ok = 0;
+            for (const FrameOk &r : ok) {
+                opt_ok += r.opt;
+                cur_ok += r.cur;
+                sen_ok += r.sen;
             }
             table.row({ecc::sensingModeName(mode), util::fmtInt(pe),
                        util::fmtPct(static_cast<double>(opt_ok) / kFrames,

@@ -11,6 +11,7 @@
 #ifndef SENTINELFLASH_BENCH_BENCH_SUPPORT_HH
 #define SENTINELFLASH_BENCH_BENCH_SUPPORT_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -18,7 +19,9 @@
 #include "core/evaluator.hh"
 #include "nandsim/chip.hh"
 #include "nandsim/oracle.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace flash::bench
 {
@@ -50,12 +53,35 @@ makeQlcChip(int blocks = 2)
     return nand::Chip(geom, nand::qlcVoltageParams(), kChipSeed);
 }
 
+/**
+ * Parse `--threads N` (or `--threads=N`) from the command line.
+ * Defaults to 1; 0 selects the hardware concurrency. Results are
+ * bit-identical at every thread count.
+ */
+inline int
+threadsArg(int argc, char **argv)
+{
+    int threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--threads" && i + 1 < argc)
+            threads = std::atoi(argv[i + 1]);
+        else if (a.rfind("--threads=", 0) == 0)
+            threads = std::atoi(a.c_str() + 10);
+    }
+    util::fatalIf(threads < 0, "--threads: bad thread count");
+    if (threads == 0)
+        threads = util::hardwareThreads();
+    return threads;
+}
+
 /** Factory characterization with a bench-friendly sample budget. */
 inline core::Characterization
-characterize(nand::Chip &chip, int wl_stride)
+characterize(nand::Chip &chip, int wl_stride, int threads = 1)
 {
     core::CharOptions opt;
     opt.wordlineStride = wl_stride;
+    opt.threads = threads;
     const core::FactoryCharacterizer characterizer(opt);
     return characterizer.run(chip);
 }

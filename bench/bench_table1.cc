@@ -8,7 +8,9 @@
 #include "bench_support.hh"
 #include "core/error_difference.hh"
 #include "core/inference.hh"
+#include "nandsim/read_seq.hh"
 #include "nandsim/snapshot.hh"
+#include "util/rng.hh"
 #include "util/stats.hh"
 
 using namespace flash;
@@ -18,10 +20,10 @@ namespace
 
 void
 runChip(nand::Chip &chip, const char *name, std::uint32_t pe,
-        int char_stride)
+        int char_stride, int threads)
 {
     // Factory tables are fitted once at the production ratio (0.2%).
-    const auto tables = bench::characterize(chip, char_stride);
+    const auto tables = bench::characterize(chip, char_stride, threads);
     const auto defaults = chip.model().defaultVoltages();
     const int k_s = tables.sentinelBoundary;
     const int v_s = defaults[static_cast<std::size_t>(k_s)];
@@ -31,7 +33,11 @@ runChip(nand::Chip &chip, const char *name, std::uint32_t pe,
     util::TextTable table;
     table.header({"ratio", "sentinels", "mean |pred-real|", "stddev"});
 
-    std::uint64_t seq = 0x40000;
+    std::vector<int> wls;
+    for (int wl = 0; wl < chip.geometry().wordlinesPerBlock(); wl += 8)
+        wls.push_back(wl);
+
+    std::size_t ri = 0;
     for (double ratio : {0.0002, 0.001, 0.002, 0.004, 0.006}) {
         core::SentinelConfig cfg;
         cfg.ratio = ratio;
@@ -42,20 +48,33 @@ runChip(nand::Chip &chip, const char *name, std::uint32_t pe,
                           overlay);
         bench::ageBlock(chip, bench::kEvalBlock, pe);
 
-        util::RunningStats err;
-        for (int wl = 0; wl < chip.geometry().wordlinesPerBlock();
-             wl += 8) {
-            const auto sent = core::sentinelSnapshot(
-                chip, bench::kEvalBlock, wl, overlay, seq++);
-            const double d =
-                core::countSentinelErrors(sent, k_s, v_s).dRate();
-            const int predicted = engine.infer(d).sentinelOffset;
+        // Read-only from here on; per-wordline noise derives from the
+        // ratio index and the wordline, so the sweep parallelizes with
+        // bit-identical statistics (reduced sequentially below).
+        const nand::ReadClock clock(util::hashCombine(0x7AB1E, ri++));
+        std::vector<int> abs_err(wls.size());
+        util::parallelFor(
+            threads, static_cast<int>(wls.size()), [&](int i) {
+                const int wl = wls[static_cast<std::size_t>(i)];
+                nand::ReadSeq seq =
+                    clock.session(bench::kEvalBlock, wl);
+                const auto sent = core::sentinelSnapshot(
+                    chip, bench::kEvalBlock, wl, overlay, seq.next());
+                const double d =
+                    core::countSentinelErrors(sent, k_s, v_s).dRate();
+                const int predicted = engine.infer(d).sentinelOffset;
 
-            const auto data = nand::WordlineSnapshot::dataRegion(
-                chip, bench::kEvalBlock, wl, seq++);
-            const int real = oracle.optimalBoundary(data, k_s, v_s).offset;
-            err.add(std::abs(predicted - real));
-        }
+                const auto data = nand::WordlineSnapshot::dataRegion(
+                    chip, bench::kEvalBlock, wl, seq.next());
+                const int real =
+                    oracle.optimalBoundary(data, k_s, v_s).offset;
+                abs_err[static_cast<std::size_t>(i)] =
+                    std::abs(predicted - real);
+            });
+
+        util::RunningStats err;
+        for (int e : abs_err)
+            err.add(e);
         table.row({util::fmtPct(ratio, 2), util::fmtInt(overlay.count),
                    util::fmt(err.mean(), 2), util::fmt(err.stddev(), 2)});
     }
@@ -67,8 +86,9 @@ runChip(nand::Chip &chip, const char *name, std::uint32_t pe,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const int threads = bench::threadsArg(argc, argv);
     bench::header("Table I",
                   "|predicted - real| optimal sentinel offset vs "
                   "sentinel ratio",
@@ -76,9 +96,9 @@ main()
                   "the ratio grows 0.02% -> 0.6%");
 
     auto tlc = bench::makeTlcChip();
-    runChip(tlc, "TLC (P/E 5000 + 1 y)", 5000, 16);
+    runChip(tlc, "TLC (P/E 5000 + 1 y)", 5000, 16, threads);
     auto qlc = bench::makeQlcChip();
-    runChip(qlc, "QLC (P/E 3000 + 1 y)", 3000, 48);
+    runChip(qlc, "QLC (P/E 3000 + 1 y)", 3000, 48, threads);
 
     bench::footer("prediction error falls monotonically as more sentinel "
                   "cells are reserved (shot noise ~ 1/sqrt(n)), with "

@@ -5,8 +5,10 @@
 
 #include "core/error_difference.hh"
 #include "nandsim/oracle.hh"
+#include "nandsim/read_seq.hh"
 #include "nandsim/snapshot.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace flash::core
 {
@@ -36,6 +38,8 @@ FactoryCharacterizer::FactoryCharacterizer(CharOptions options)
                   "characterizer: stride must be >= 1");
     util::fatalIf(options_.polyDegree < 1,
                   "characterizer: polyDegree must be >= 1");
+    util::fatalIf(options_.threads < 1,
+                  "characterizer: threads must be >= 1");
 }
 
 Characterization
@@ -60,8 +64,21 @@ FactoryCharacterizer::run(nand::Chip &chip, double temp_band_c) const
     const auto nb = static_cast<std::size_t>(geom.states());
     std::vector<std::vector<double>> xs(nb), ys(nb);
 
-    std::uint64_t seq = 0x10000;
-    for (const CharCondition &cond : options_.conditions) {
+    std::vector<int> wls;
+    for (int wl = 0; wl < geom.wordlinesPerBlock();
+         wl += options_.wordlineStride) {
+        wls.push_back(wl);
+    }
+
+    /** Per-wordline measurements of one aging condition. */
+    struct WlSample
+    {
+        double d = 0.0;
+        std::vector<double> offsets; ///< 1-based by boundary
+    };
+
+    for (std::size_t ci = 0; ci < options_.conditions.size(); ++ci) {
+        const CharCondition &cond = options_.conditions[ci];
         chip.setPeCycles(block, cond.peCycles);
         chip.refresh(block);
         // Age so the effective hours land on the condition while the
@@ -70,25 +87,41 @@ FactoryCharacterizer::run(nand::Chip &chip, double temp_band_c) const
             / chip.model().arrheniusFactor(temp_band_c);
         chip.age(block, raw_hours, temp_band_c);
 
-        for (int wl = 0; wl < geom.wordlinesPerBlock();
-             wl += options_.wordlineStride) {
-            const auto data =
-                nand::WordlineSnapshot::dataRegion(chip, block, wl, ++seq);
-            const auto sent =
-                sentinelSnapshot(chip, block, wl, overlay, ++seq);
+        // Aging above is the last chip mutation; the sweep below only
+        // reads, and each wordline's noise seeds derive from
+        // (readStream, condition, wordline), so the sampled wordlines
+        // can run on any number of threads. The reduction into the
+        // fit-sample vectors stays sequential in wordline order.
+        const nand::ReadClock clock(
+            util::hashCombine(options_.readStream, ci));
+        std::vector<WlSample> samples(wls.size());
+        util::parallelFor(
+            options_.threads, static_cast<int>(wls.size()), [&](int i) {
+                const int wl = wls[static_cast<std::size_t>(i)];
+                nand::ReadSeq seq = clock.session(block, wl);
+                const auto data = nand::WordlineSnapshot::dataRegion(
+                    chip, block, wl, seq.next());
+                const auto sent =
+                    sentinelSnapshot(chip, block, wl, overlay, seq.next());
 
-            const auto opts = oracle.optimalOffsets(data, defaults);
-            const double d =
-                countSentinelErrors(sent, k_s, v_s).dRate();
-            const double opt_s =
-                opts[static_cast<std::size_t>(k_s)].offset;
+                const auto opts = oracle.optimalOffsets(data, defaults);
+                WlSample &s = samples[static_cast<std::size_t>(i)];
+                s.d = countSentinelErrors(sent, k_s, v_s).dRate();
+                s.offsets.assign(nb, 0.0);
+                for (int k = 1; k < geom.states(); ++k) {
+                    s.offsets[static_cast<std::size_t>(k)] =
+                        opts[static_cast<std::size_t>(k)].offset;
+                }
+            });
 
-            out.dSamples.push_back(d);
+        for (const WlSample &s : samples) {
+            const double opt_s = s.offsets[static_cast<std::size_t>(k_s)];
+            out.dSamples.push_back(s.d);
             out.voptSamples.push_back(opt_s);
             for (int k = 1; k < geom.states(); ++k) {
                 xs[static_cast<std::size_t>(k)].push_back(opt_s);
                 ys[static_cast<std::size_t>(k)].push_back(
-                    opts[static_cast<std::size_t>(k)].offset);
+                    s.offsets[static_cast<std::size_t>(k)]);
             }
         }
     }

@@ -49,6 +49,17 @@ struct CharOptions
 
     /** Block used for the sweep. */
     int block = 0;
+
+    /**
+     * Worker threads of the per-condition wordline sweep. The chip is
+     * only read inside the sweep, and each wordline's sensing noise
+     * derives from (readStream, condition, wordline), so the fitted
+     * tables are bit-identical at every thread count.
+     */
+    int threads = 1;
+
+    /** Read-noise stream key of the sweep (see nand::ReadClock). */
+    std::uint64_t readStream = 0xFAC7;
 };
 
 /** The tables programmed into every chip of the batch. */

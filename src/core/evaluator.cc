@@ -3,25 +3,57 @@
 #include "core/error_difference.hh"
 #include "nandsim/oracle.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace flash::core
 {
 
+namespace
+{
+
+/** Wordlines sampled by a strided block sweep. */
+std::vector<int>
+sampledWordlines(const nand::Chip &chip, int wl_stride)
+{
+    std::vector<int> wls;
+    for (int wl = 0; wl < chip.geometry().wordlinesPerBlock();
+         wl += wl_stride) {
+        wls.push_back(wl);
+    }
+    return wls;
+}
+
+} // namespace
+
 PolicyBlockStats
-evaluateBlock(const nand::Chip &chip, int block, ReadPolicy &policy,
+evaluateBlock(const nand::Chip &chip, int block, const ReadPolicy &policy,
               const ecc::EccModel &ecc_model,
               const std::optional<nand::SentinelOverlay> &overlay,
-              const LatencyParams &latency, int page, int wl_stride)
+              const LatencyParams &latency, int page, int wl_stride,
+              int threads, std::uint64_t read_stream)
 {
     util::fatalIf(wl_stride < 1, "evaluateBlock: bad stride");
+    util::fatalIf(threads < 1, "evaluateBlock: bad thread count");
     const int target_page =
         page < 0 ? chip.grayCode().msbPage() : page;
 
+    const std::vector<int> wls = sampledWordlines(chip, wl_stride);
+    const nand::ReadClock clock(read_stream);
+
+    // Sessions run in parallel, each writing only its own slot; the
+    // floating-point reduction below stays sequential in wordline
+    // order so the statistics are bit-identical at any thread count.
+    std::vector<ReadSessionResult> sessions(wls.size());
+    util::parallelFor(
+        threads, static_cast<int>(wls.size()), [&](int i) {
+            ReadContext ctx(chip, block,
+                            wls[static_cast<std::size_t>(i)], target_page,
+                            ecc_model, overlay, clock);
+            sessions[static_cast<std::size_t>(i)] = policy.read(ctx);
+        });
+
     PolicyBlockStats stats;
-    for (int wl = 0; wl < chip.geometry().wordlinesPerBlock();
-         wl += wl_stride) {
-        ReadContext ctx(chip, block, wl, target_page, ecc_model, overlay);
-        const ReadSessionResult session = policy.read(ctx);
+    for (const ReadSessionResult &session : sessions) {
         ++stats.sessions;
         if (!session.success)
             ++stats.failures;
@@ -46,10 +78,12 @@ evaluateWordlineAccuracy(const nand::Chip &chip, int block, int wl,
     WordlineAccuracy out;
     out.boundaries.resize(static_cast<std::size_t>(states));
 
-    const auto sent = sentinelSnapshot(chip, block, wl, overlay,
-                                       chip.nextReadSeq());
+    nand::ReadSeq seq =
+        nand::ReadClock(options.readStream).session(block, wl);
+    const auto sent =
+        sentinelSnapshot(chip, block, wl, overlay, seq.next());
     const auto data = nand::WordlineSnapshot::dataRegion(
-        chip, block, wl, chip.nextReadSeq());
+        chip, block, wl, seq.next());
 
     const int k_s = tables.sentinelBoundary;
     const int v_s_def = defaults[static_cast<std::size_t>(k_s)];
@@ -137,6 +171,27 @@ evaluateWordlineAccuracy(const nand::Chip &chip, int block, int wl,
         b.inferOk = static_cast<double>(b.errInferred) <= bud;
         b.calibOk = static_cast<double>(b.errCalibrated) <= bud;
     }
+    return out;
+}
+
+std::vector<WordlineAccuracy>
+evaluateBlockAccuracy(const nand::Chip &chip, int block,
+                      const Characterization &tables,
+                      const nand::SentinelOverlay &overlay,
+                      const AccuracyOptions &options, int wl_stride,
+                      int threads)
+{
+    util::fatalIf(wl_stride < 1, "evaluateBlockAccuracy: bad stride");
+    util::fatalIf(threads < 1, "evaluateBlockAccuracy: bad thread count");
+
+    const std::vector<int> wls = sampledWordlines(chip, wl_stride);
+    std::vector<WordlineAccuracy> out(wls.size());
+    util::parallelFor(
+        threads, static_cast<int>(wls.size()), [&](int i) {
+            out[static_cast<std::size_t>(i)] = evaluateWordlineAccuracy(
+                chip, block, wls[static_cast<std::size_t>(i)], tables,
+                overlay, options);
+        });
     return out;
 }
 

@@ -34,16 +34,25 @@ struct PolicyBlockStats
 /**
  * Run @p policy on one page of every sampled wordline of a block.
  *
+ * Sessions are independent (one ReadContext per wordline, noise
+ * derived from @p read_stream and the wordline address), so they can
+ * run on any number of threads: per-wordline results are computed in
+ * parallel and reduced sequentially in wordline order, making the
+ * returned statistics bit-identical at every thread count.
+ *
  * @param page Page to read; -1 selects the MSB page (worst case).
  * @param wl_stride Sample every Nth wordline.
+ * @param threads Worker threads (1 = serial).
+ * @param read_stream Read-noise stream key (see nand::ReadClock).
  */
 PolicyBlockStats evaluateBlock(const nand::Chip &chip, int block,
-                               ReadPolicy &policy,
+                               const ReadPolicy &policy,
                                const ecc::EccModel &ecc_model,
                                const std::optional<nand::SentinelOverlay>
                                    &overlay,
                                const LatencyParams &latency, int page = -1,
-                               int wl_stride = 1);
+                               int wl_stride = 1, int threads = 1,
+                               std::uint64_t read_stream = 0);
 
 /**
  * The paper's success rule: a found voltage succeeds when the RBER it
@@ -107,6 +116,9 @@ struct AccuracyOptions
     SuccessRule rule;
     CalibrationParams calibration;
     int maxCalibSteps = 5;
+
+    /** Read-noise stream key (see nand::ReadClock). */
+    std::uint64_t readStream = 0;
 };
 
 /**
@@ -123,6 +135,20 @@ WordlineAccuracy evaluateWordlineAccuracy(const nand::Chip &chip, int block,
                                               &overlay,
                                           const AccuracyOptions &options
                                           = {});
+
+/**
+ * evaluateWordlineAccuracy() over every @p wl_stride -th wordline of
+ * a block, optionally on several threads. Per-wordline noise derives
+ * from options.readStream and the wordline address, so the result
+ * vector (indexed by sample order) is bit-identical at every thread
+ * count.
+ */
+std::vector<WordlineAccuracy>
+evaluateBlockAccuracy(const nand::Chip &chip, int block,
+                      const Characterization &tables,
+                      const nand::SentinelOverlay &overlay,
+                      const AccuracyOptions &options = {},
+                      int wl_stride = 1, int threads = 1);
 
 } // namespace flash::core
 

@@ -13,20 +13,26 @@ double
 sessionLatencyUs(const ReadSessionResult &session,
                  const LatencyParams &params)
 {
-    // Every attempt pays the fixed overhead, a transfer and a decode
-    // try; sense cost scales with the voltages applied. Assist reads
-    // are single-voltage senses whose transfer is included in
-    // senseOps accounting (they are LSB reads of the same wordline).
-    const double attempts = session.attempts + session.assistReads;
-    return attempts * (params.baseUs + params.transferUs + params.decodeUs)
-        + session.senseOps * params.senseUs;
+    // Every attempt pays the fixed overhead and a decode try; sense
+    // cost scales with the voltages applied. An assist read is a
+    // single-voltage on-die sense: fixed command overhead only (its
+    // sense op is part of senseOps), no transfer, no decode. The page
+    // crosses to the controller once per session.
+    if (session.attempts == 0 && session.assistReads == 0
+        && session.senseOps == 0) {
+        return 0.0;
+    }
+    return session.attempts * (params.baseUs + params.decodeUs)
+        + session.assistReads * params.baseUs
+        + session.senseOps * params.senseUs + params.transferUs;
 }
 
 ReadContext::ReadContext(const nand::Chip &chip, int block, int wl,
                          int page, const ecc::EccModel &ecc_model,
-                         std::optional<nand::SentinelOverlay> overlay)
+                         std::optional<nand::SentinelOverlay> overlay,
+                         nand::ReadClock clock)
     : chip_(&chip), block_(block), wl_(wl), page_(page), ecc_(&ecc_model),
-      overlay_(std::move(overlay))
+      overlay_(std::move(overlay)), seq_(clock.session(block, wl))
 {
     util::fatalIf(page < 0 || page >= chip.geometry().pagesPerWordline(),
                   "ReadContext: page out of range");
@@ -37,7 +43,7 @@ ReadContext::dataSnap()
 {
     if (!data_) {
         data_.emplace(nand::WordlineSnapshot::dataRegion(
-            *chip_, block_, wl_, chip_->nextReadSeq()));
+            *chip_, block_, wl_, seq_.next()));
     }
     return *data_;
 }
@@ -48,7 +54,7 @@ ReadContext::sentSnap()
     util::fatalIf(!overlay_, "ReadContext: no sentinel overlay");
     if (!sent_) {
         sent_.emplace(sentinelSnapshot(*chip_, block_, wl_, *overlay_,
-                                       chip_->nextReadSeq()));
+                                       seq_.next()));
     }
     return *sent_;
 }
@@ -133,7 +139,7 @@ VendorRetryPolicy::retryVoltages(int i) const
 }
 
 ReadSessionResult
-VendorRetryPolicy::read(ReadContext &ctx)
+VendorRetryPolicy::read(ReadContext &ctx) const
 {
     ReadSessionResult session;
     if (attempt(ctx, defaults_, session))
@@ -146,7 +152,7 @@ VendorRetryPolicy::read(ReadContext &ctx)
 }
 
 ReadSessionResult
-OraclePolicy::read(ReadContext &ctx)
+OraclePolicy::read(ReadContext &ctx) const
 {
     ReadSessionResult session;
     if (!firstOptimal_ && attempt(ctx, defaults_, session))
@@ -162,18 +168,26 @@ TrackingPolicy::TrackingPolicy(const nand::VoltageModel &model,
     : defaults_(model.defaultVoltages()), profile_(vendorProfile(model)),
       tracked_(defaults_), referenceWl_(reference_wl),
       maxRetries_(max_retries), stepDac_(step_dac)
-{}
+{
+    util::fatalIf(max_retries < 1, "TrackingPolicy: bad retry budget");
+    util::fatalIf(reference_wl < 0,
+                  "TrackingPolicy: bad reference wordline");
+}
 
 void
-TrackingPolicy::track(const nand::Chip &chip, int block)
+TrackingPolicy::track(const nand::Chip &chip, int block,
+                      nand::ReadClock clock)
 {
+    util::fatalIf(referenceWl_ >= chip.geometry().wordlinesPerBlock(),
+                  "TrackingPolicy: reference wordline out of range");
     const auto snap = nand::WordlineSnapshot::dataRegion(
-        chip, block, referenceWl_, chip.nextReadSeq());
+        chip, block, referenceWl_,
+        clock.session(block, referenceWl_).next());
     tracked_ = oracle_.optimalVoltages(snap, defaults_);
 }
 
 ReadSessionResult
-TrackingPolicy::read(ReadContext &ctx)
+TrackingPolicy::read(ReadContext &ctx) const
 {
     ReadSessionResult session;
     if (attempt(ctx, tracked_, session))
@@ -216,7 +230,7 @@ SentinelPolicy::setFirstReadVoltages(std::vector<int> voltages)
 }
 
 ReadSessionResult
-SentinelPolicy::read(ReadContext &ctx)
+SentinelPolicy::read(ReadContext &ctx) const
 {
     ReadSessionResult session;
     const std::vector<int> &first =

@@ -24,6 +24,7 @@
 #include "ecc/ecc_model.hh"
 #include "nandsim/chip.hh"
 #include "nandsim/oracle.hh"
+#include "nandsim/read_seq.hh"
 #include "nandsim/snapshot.hh"
 
 namespace flash::core
@@ -62,7 +63,16 @@ struct LatencyParams
     double decodeUs = 10.0;   ///< ECC decode attempt
 };
 
-/** Latency of a whole read session under the timing model. */
+/**
+ * Latency of a whole read session under the timing model. Every
+ * page-read attempt pays the fixed overhead and an ECC decode try; an
+ * assist read is a single-voltage on-die sense of the sentinel
+ * columns — it pays the fixed command overhead and its sense op (part
+ * of senseOps) but no page transfer and no decode. The page is
+ * transferred to the controller once per session. The SSD simulator
+ * charges the identical model (transfer modelled on the channel);
+ * see ssd::SsdSim::readPageOp.
+ */
 double sessionLatencyUs(const ReadSessionResult &session,
                         const LatencyParams &params);
 
@@ -72,13 +82,19 @@ double sessionLatencyUs(const ReadSessionResult &session,
  * reused across the session's attempts (retries only re-tune
  * voltages; fresh sensing noise across retries is a second-order
  * effect the paper also neglects).
+ *
+ * Read sequencing is caller-owned: sensing-noise seeds derive from
+ * the clock's stream and this context's (block, wordline, read
+ * counter), so identical sessions reproduce identical noise no
+ * matter what other reads run before or concurrently.
  */
 class ReadContext
 {
   public:
     ReadContext(const nand::Chip &chip, int block, int wl, int page,
                 const ecc::EccModel &ecc_model,
-                std::optional<nand::SentinelOverlay> overlay);
+                std::optional<nand::SentinelOverlay> overlay,
+                nand::ReadClock clock = nand::ReadClock());
 
     /** Lazily-built data-region snapshot. */
     const nand::WordlineSnapshot &dataSnap();
@@ -110,11 +126,17 @@ class ReadContext
     int block_, wl_, page_;
     const ecc::EccModel *ecc_;
     std::optional<nand::SentinelOverlay> overlay_;
+    nand::ReadSeq seq_;
     std::optional<nand::WordlineSnapshot> data_;
     std::optional<nand::WordlineSnapshot> sent_;
 };
 
-/** Interface of a read-retry policy. */
+/**
+ * Interface of a read-retry policy. read() is const: a configured
+ * policy holds no per-session state, so one instance may serve many
+ * sessions concurrently (all mutable session state lives in the
+ * ReadContext).
+ */
 class ReadPolicy
 {
   public:
@@ -124,7 +146,7 @@ class ReadPolicy
     virtual std::string name() const = 0;
 
     /** Run one page-read session. */
-    virtual ReadSessionResult read(ReadContext &ctx) = 0;
+    virtual ReadSessionResult read(ReadContext &ctx) const = 0;
 };
 
 /**
@@ -144,7 +166,7 @@ class VendorRetryPolicy : public ReadPolicy
                       double step_dac = 3.5);
 
     std::string name() const override { return "current-flash"; }
-    ReadSessionResult read(ReadContext &ctx) override;
+    ReadSessionResult read(ReadContext &ctx) const override;
 
     /** Voltage set of retry @p i (1-based). */
     std::vector<int> retryVoltages(int i) const;
@@ -173,7 +195,7 @@ class OraclePolicy : public ReadPolicy
     {}
 
     std::string name() const override { return "oracle"; }
-    ReadSessionResult read(ReadContext &ctx) override;
+    ReadSessionResult read(ReadContext &ctx) const override;
 
   private:
     std::vector<int> defaults_;
@@ -202,14 +224,16 @@ class TrackingPolicy : public ReadPolicy
 
     /**
      * Update the tracked voltages from the reference wordline's
-     * current state (the FTL's periodic refresh).
+     * current state (the FTL's periodic refresh). The reference read
+     * draws its sensing noise from @p clock.
      */
-    void track(const nand::Chip &chip, int block);
+    void track(const nand::Chip &chip, int block,
+               nand::ReadClock clock = nand::ReadClock());
 
     /** Tracked voltage set (after track()). */
     const std::vector<int> &trackedVoltages() const { return tracked_; }
 
-    ReadSessionResult read(ReadContext &ctx) override;
+    ReadSessionResult read(ReadContext &ctx) const override;
 
   private:
     std::vector<int> defaults_;
@@ -242,7 +266,7 @@ class SentinelPolicy : public ReadPolicy
                    CalibrationParams calibration = {}, int max_retries = 10);
 
     std::string name() const override { return "sentinel"; }
-    ReadSessionResult read(ReadContext &ctx) override;
+    ReadSessionResult read(ReadContext &ctx) const override;
 
     /** Inference engine (exposed for the experiment harnesses). */
     const InferenceEngine &engine() const { return engine_; }

@@ -98,8 +98,13 @@ struct PageReadResult
 };
 
 /**
- * One simulated chip. Thread-safe for concurrent const sensing of
- * distinct wordlines; mutation (aging/programming) is not.
+ * One simulated chip. Fully immutable after programming and aging:
+ * every sensing entry point is const, keeps no hidden state, and
+ * derives all noise from pure hashes of (seed, address, read_seq) —
+ * so concurrent sensing from any number of threads is safe and
+ * reproducible. Read-sequence numbers are caller-owned (see
+ * nandsim/read_seq.hh); mutation (aging/programming) is not
+ * thread-safe.
  */
 class Chip
 {
@@ -211,9 +216,6 @@ class Chip
     void trueBits(int block, int wl, int page, int col_begin, int col_end,
                   std::vector<std::uint8_t> &bits_out) const;
 
-    /** Monotonically increasing read-sequence counter. */
-    std::uint64_t nextReadSeq() const { return ++readSeq_; }
-
     /// @}
 
   private:
@@ -226,7 +228,6 @@ class Chip
 
     std::vector<BlockAge> ages_;
     std::vector<std::vector<WordlineContent>> content_;
-    mutable std::uint64_t readSeq_ = 0;
 };
 
 } // namespace flash::nand

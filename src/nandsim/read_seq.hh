@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic, order-independent read sequencing.
+ *
+ * Per-read sensing noise is keyed by a 64-bit read-sequence number.
+ * Instead of a global mutable counter on the chip (whose values — and
+ * therefore every read's noise draw — would depend on the global
+ * order of all reads in the process), sequence numbers are pure
+ * hashes of (stream, block, wordline, per-context read counter). Two
+ * evaluations of the same wordline under the same stream always see
+ * the same sensing noise, no matter what other reads run before,
+ * between or concurrently. This is the contract that makes parallel
+ * block evaluation produce bit-identical statistics.
+ */
+
+#ifndef SENTINELFLASH_NANDSIM_READ_SEQ_HH
+#define SENTINELFLASH_NANDSIM_READ_SEQ_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+
+namespace flash::nand
+{
+
+/**
+ * Cursor over the reads of one (block, wordline) context. Obtained
+ * from ReadClock::session(); cheap to copy. The k-th read of the
+ * context always gets the same sequence number.
+ */
+class ReadSeq
+{
+  public:
+    explicit ReadSeq(std::uint64_t base = 0) : base_(base) {}
+
+    /** Sequence number of read number @p k of this context (pure). */
+    std::uint64_t at(std::uint64_t k) const
+    {
+        return util::hashCombine(base_, k);
+    }
+
+    /** Sequence number of the next read (advances the cursor). */
+    std::uint64_t next() { return at(k_++); }
+
+    /** Reads drawn so far. */
+    std::uint64_t count() const { return k_; }
+
+  private:
+    std::uint64_t base_;
+    std::uint64_t k_ = 0;
+};
+
+/**
+ * Names one stream of reads (an evaluation run, a policy sweep, a
+ * bench iteration). Immutable and freely shared across threads;
+ * distinct streams redraw all sensing noise, the same stream
+ * reproduces it exactly.
+ */
+class ReadClock
+{
+  public:
+    explicit ReadClock(std::uint64_t stream = 0) : stream_(stream) {}
+
+    /** Stream key. */
+    std::uint64_t stream() const { return stream_; }
+
+    /** Cursor for the reads of (block, wl) in this stream. */
+    ReadSeq session(int block, int wl) const
+    {
+        return ReadSeq(util::hashWords(
+            {kReadSeqSalt, stream_, static_cast<std::uint64_t>(block),
+             static_cast<std::uint64_t>(wl)}));
+    }
+
+    /** Sequence number of read @p k of (block, wl) in this stream. */
+    std::uint64_t at(int block, int wl, std::uint64_t k) const
+    {
+        return session(block, wl).at(k);
+    }
+
+  private:
+    static constexpr std::uint64_t kReadSeqSalt = 0x7264536571303031ULL;
+
+    std::uint64_t stream_;
+};
+
+} // namespace flash::nand
+
+#endif // SENTINELFLASH_NANDSIM_READ_SEQ_HH

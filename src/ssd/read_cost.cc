@@ -1,6 +1,7 @@
 #include "ssd/read_cost.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace flash::ssd
 {
@@ -37,24 +38,35 @@ EmpiricalReadCost::meanRetries() const
 }
 
 EmpiricalReadCost
-measureReadCost(const nand::Chip &chip, int block, core::ReadPolicy &policy,
+measureReadCost(const nand::Chip &chip, int block,
+                const core::ReadPolicy &policy,
                 const ecc::EccModel &ecc_model,
                 const std::optional<nand::SentinelOverlay> &overlay,
-                int page, int wl_stride)
+                int page, int wl_stride, int threads,
+                std::uint64_t read_stream)
 {
-    std::vector<ReadCost> samples;
-    const int pages = chip.geometry().pagesPerWordline();
+    util::fatalIf(wl_stride < 1, "measureReadCost: bad stride");
+    util::fatalIf(threads < 1, "measureReadCost: bad thread count");
+
+    std::vector<int> wls;
     for (int wl = 0; wl < chip.geometry().wordlinesPerBlock();
          wl += wl_stride) {
-        const int p = page >= 0 ? page : (wl / wl_stride) % pages;
-        core::ReadContext ctx(chip, block, wl, p, ecc_model, overlay);
-        const core::ReadSessionResult s = policy.read(ctx);
-        ReadCost c;
-        c.attempts = s.attempts;
-        c.senseOps = s.senseOps;
-        c.assistReads = s.assistReads;
-        samples.push_back(c);
+        wls.push_back(wl);
     }
+
+    const int pages = chip.geometry().pagesPerWordline();
+    const nand::ReadClock clock(read_stream);
+    std::vector<ReadCost> samples(wls.size());
+    util::parallelFor(
+        threads, static_cast<int>(wls.size()), [&](int i) {
+            const int wl = wls[static_cast<std::size_t>(i)];
+            const int p = page >= 0 ? page : i % pages;
+            core::ReadContext ctx(chip, block, wl, p, ecc_model, overlay,
+                                  clock);
+            const core::ReadSessionResult s = policy.read(ctx);
+            samples[static_cast<std::size_t>(i)] =
+                ReadCost{s.attempts, s.senseOps, s.assistReads};
+        });
     return EmpiricalReadCost(policy.name(), std::move(samples));
 }
 

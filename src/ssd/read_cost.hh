@@ -82,15 +82,21 @@ class EmpiricalReadCost : public ReadCostSource
  * Build an empirical cost source by running @p policy on one page of
  * every sampled wordline of a block (see core::evaluateBlock).
  *
+ * Per-wordline sessions are independent (noise derives from
+ * @p read_stream and the wordline address), so the sample vector is
+ * bit-identical at every thread count.
+ *
  * @param page Page to exercise; -1 cycles through all pages of the
  *        wordline, weighting costs the way host reads land on pages.
  */
 EmpiricalReadCost measureReadCost(const nand::Chip &chip, int block,
-                                  core::ReadPolicy &policy,
+                                  const core::ReadPolicy &policy,
                                   const ecc::EccModel &ecc_model,
                                   const std::optional<nand::SentinelOverlay>
                                       &overlay,
-                                  int page = -1, int wl_stride = 4);
+                                  int page = -1, int wl_stride = 4,
+                                  int threads = 1,
+                                  std::uint64_t read_stream = 0);
 
 } // namespace flash::ssd
 

@@ -25,10 +25,15 @@ SsdSim::channelOf(int plane) const
 double
 SsdSim::readPageOp(double arrival, int plane)
 {
+    // Same per-session model as core::sessionLatencyUs: every attempt
+    // pays command overhead plus a decode try, an assist read is a
+    // single-voltage sense (command overhead only; its sense op is
+    // counted in senseOps), and the page crosses the channel once —
+    // modelled below as the bus transfer.
     const ReadCost cost = readCost_->sample(rng_);
     const double flash_us =
-        (cost.attempts + cost.assistReads)
-            * (timing_.readBaseUs + timing_.decodeUs)
+        cost.attempts * (timing_.readBaseUs + timing_.decodeUs)
+        + cost.assistReads * timing_.readBaseUs
         + cost.senseOps * timing_.senseUs;
 
     const double start =

@@ -56,14 +56,36 @@ nand::SentinelOverlay ReadPolicyTest::overlay;
 
 TEST_F(ReadPolicyTest, LatencyModelArithmetic)
 {
+    // Attempts pay overhead + decode, the assist read pays overhead
+    // only, every sense is in senseOps, one transfer per session.
     ReadSessionResult s;
     s.attempts = 2;
     s.assistReads = 1;
     s.senseOps = 9;
     LatencyParams p;
-    const double expect = 3 * (p.baseUs + p.transferUs + p.decodeUs)
-        + 9 * p.senseUs;
+    const double expect = 2 * (p.baseUs + p.decodeUs) + p.baseUs
+        + 9 * p.senseUs + p.transferUs;
     EXPECT_DOUBLE_EQ(sessionLatencyUs(s, p), expect);
+}
+
+TEST_F(ReadPolicyTest, EmptySessionHasZeroLatency)
+{
+    EXPECT_DOUBLE_EQ(sessionLatencyUs(ReadSessionResult{}, LatencyParams{}),
+                     0.0);
+}
+
+TEST_F(ReadPolicyTest, TrackingPolicyRejectsBadConfig)
+{
+    EXPECT_THROW(TrackingPolicy(chip->model(), 0, 0), util::FatalError);
+    EXPECT_THROW(TrackingPolicy(chip->model(), 0, -5), util::FatalError);
+    EXPECT_THROW(TrackingPolicy(chip->model(), -1), util::FatalError);
+}
+
+TEST_F(ReadPolicyTest, TrackingPolicyRejectsOutOfRangeReferenceWordline)
+{
+    TrackingPolicy policy(chip->model(),
+                          chip->geometry().wordlinesPerBlock());
+    EXPECT_THROW(policy.track(*chip, 1), util::FatalError);
 }
 
 TEST_F(ReadPolicyTest, RetriesAccessor)

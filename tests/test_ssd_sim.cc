@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/read_policy.hh"
 #include "ssd/ssd_sim.hh"
 #include "util/logging.hh"
 
@@ -59,6 +60,38 @@ TEST(SsdSim, IdleSystemLatencyMatchesServiceTime)
     const double service = (t.readBaseUs + t.decodeUs) + 4 * t.senseUs
         + cfg.pageKb * t.transferUsPerKb;
     EXPECT_NEAR(rep.readLatencyUs.mean(), service, 1e-6);
+}
+
+TEST(SsdSim, IdleLatencyAgreesWithSessionModel)
+{
+    // The chip-level and SSD-level paths must charge the same latency
+    // for the same session cost (retry + assist read included) once
+    // the transfer terms are aligned: attempts pay overhead + decode,
+    // the assist read pays overhead only, senses via senseOps, one
+    // transfer per page read.
+    struct SessionCost : ReadCostSource
+    {
+        std::string name() const override { return "session"; }
+        ReadCost sample(util::Rng &) override { return {2, 9, 1}; }
+    };
+
+    SessionCost cost;
+    const SsdTiming t;
+    const SsdConfig cfg = smallConfig();
+    SsdSim sim(cfg, t, cost, 1);
+    const auto rep = sim.run(simpleTrace(10, true, 1e6, 4096));
+
+    core::ReadSessionResult s;
+    s.attempts = 2;
+    s.assistReads = 1;
+    s.senseOps = 9;
+    core::LatencyParams p;
+    p.baseUs = t.readBaseUs;
+    p.decodeUs = t.decodeUs;
+    p.senseUs = t.senseUs;
+    p.transferUs = cfg.pageKb * t.transferUsPerKb;
+    EXPECT_NEAR(rep.readLatencyUs.mean(), core::sessionLatencyUs(s, p),
+                1e-9);
 }
 
 TEST(SsdSim, MoreSensesMeansMoreLatency)

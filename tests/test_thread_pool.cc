@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace flash::util
+{
+namespace
+{
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne)
+{
+    EXPECT_GE(hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, RejectsBadThreadCount)
+{
+    EXPECT_THROW(ThreadPool(0), FatalError);
+    EXPECT_THROW(ThreadPool(-3), FatalError);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 3, 4, 7}) {
+        ThreadPool pool(threads);
+        // Each slot is written by exactly one chunk, so plain ints.
+        std::vector<int> hits(101, 0);
+        pool.parallelFor(101, [&](int i) {
+            ++hits[static_cast<std::size_t>(i)];
+        });
+        for (int h : hits)
+            EXPECT_EQ(h, 1) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::vector<int> out(3, 0);
+    pool.parallelFor(3, [&](int i) {
+        out[static_cast<std::size_t>(i)] = i + 1;
+    });
+    EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 5; ++round) {
+        std::vector<int> out(64, -1);
+        pool.parallelFor(64, [&](int i) {
+            out[static_cast<std::size_t>(i)] = i * round;
+        });
+        for (int i = 0; i < 64; ++i)
+            EXPECT_EQ(out[static_cast<std::size_t>(i)], i * round);
+    }
+}
+
+TEST(ThreadPool, ResultsMatchSerialRun)
+{
+    std::vector<double> serial(200), parallel(200);
+    for (int i = 0; i < 200; ++i)
+        serial[static_cast<std::size_t>(i)] = i * 0.5 + 1.0;
+
+    ThreadPool pool(4);
+    pool.parallelFor(200, [&](int i) {
+        parallel[static_cast<std::size_t>(i)] = i * 0.5 + 1.0;
+    });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, ExceptionsPropagateAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](int i) {
+                                      if (i == 57)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+
+    // The pool stays usable after a failed run.
+    std::vector<int> out(10, 0);
+    pool.parallelFor(10, [&](int i) {
+        out[static_cast<std::size_t>(i)] = 1;
+    });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 10);
+}
+
+TEST(FreeParallelFor, InlineAndPooledAgree)
+{
+    std::vector<int> inline_out(50), pooled_out(50);
+    parallelFor(1, 50, [&](int i) {
+        inline_out[static_cast<std::size_t>(i)] = i * i;
+    });
+    parallelFor(4, 50, [&](int i) {
+        pooled_out[static_cast<std::size_t>(i)] = i * i;
+    });
+    EXPECT_EQ(inline_out, pooled_out);
+}
+
+} // namespace
+} // namespace flash::util
