@@ -5,7 +5,11 @@
  * scheme.
  */
 
+#include <fstream>
+#include <memory>
+
 #include "bench_support.hh"
+#include "core/policy_metrics.hh"
 #include "core/read_policy.hh"
 #include "ecc/ecc_model.hh"
 
@@ -15,6 +19,8 @@ int
 main(int argc, char **argv)
 {
     const int threads = bench::threadsArg(argc, argv);
+    const std::string metrics_out = bench::metricsOutArg(argc, argv);
+    const std::string trace_out = bench::traceOutArg(argc, argv);
     bench::header("Figure 13",
                   "read retries per wordline, current flash vs sentinel "
                   "(TLC, P/E 5000 + 1 y, MSB page)",
@@ -34,12 +40,26 @@ main(int argc, char **argv)
     core::VendorRetryPolicy vendor(chip.model());
     core::SentinelPolicy sentinel(tables, chip.model().defaultVoltages());
 
+    std::ofstream trace_file;
+    std::unique_ptr<util::TraceLog> trace_log;
+    if (!trace_out.empty()) {
+        trace_file.open(trace_out);
+        util::fatalIf(!trace_file, "trace-out: cannot open " + trace_out);
+        trace_log = std::make_unique<util::TraceLog>(trace_file);
+    }
+
     const auto vs = core::evaluateBlock(chip, bench::kEvalBlock, vendor,
                                         ecc_model, overlay, lat, -1, 1,
-                                        threads);
+                                        threads, 0, trace_log.get());
     const auto ss = core::evaluateBlock(chip, bench::kEvalBlock, sentinel,
                                         ecc_model, overlay, lat, -1, 1,
-                                        threads);
+                                        threads, 0, trace_log.get());
+
+    if (!metrics_out.empty()) {
+        core::savePolicyMetricsJson(metrics_out,
+                                    {{vendor.name(), vs.metrics},
+                                     {sentinel.name(), ss.metrics}});
+    }
 
     util::TextTable table;
     table.header({"wordline", "current flash", "sentinel"});

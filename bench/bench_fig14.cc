@@ -7,6 +7,9 @@
  * the paper plugs chip measurements into SSDSim.
  */
 
+#include <fstream>
+#include <memory>
+
 #include "bench_support.hh"
 #include "core/read_policy.hh"
 #include "ssd/ssd_sim.hh"
@@ -18,6 +21,8 @@ int
 main(int argc, char **argv)
 {
     const int threads = bench::threadsArg(argc, argv);
+    const std::string metrics_out = bench::metricsOutArg(argc, argv);
+    const std::string trace_out = bench::traceOutArg(argc, argv);
     bench::header("Figure 14",
                   "SSD-level read latency reduction on 8 MSR-like traces",
                   "74% average read-latency reduction");
@@ -56,6 +61,21 @@ main(int argc, char **argv)
     table.header({"trace", "reads", "current flash (us)", "sentinel (us)",
                   "reduction"});
 
+    std::ofstream metrics_file;
+    if (!metrics_out.empty()) {
+        metrics_file.open(metrics_out);
+        util::fatalIf(!metrics_file,
+                      "metrics-out: cannot open " + metrics_out);
+        metrics_file << "{\"workloads\": {";
+    }
+    std::ofstream trace_file;
+    std::unique_ptr<util::TraceLog> trace_log;
+    if (!trace_out.empty()) {
+        trace_file.open(trace_out);
+        util::fatalIf(!trace_file, "trace-out: cannot open " + trace_out);
+        trace_log = std::make_unique<util::TraceLog>(trace_file);
+    }
+
     double sum = 0.0;
     int n = 0;
     for (const auto &w : trace::msrWorkloads()) {
@@ -63,10 +83,25 @@ main(int argc, char **argv)
         spec.meanInterarrivalUs *= 0.5; // one busy volume per SSD
         const auto tr = trace::generateTrace(spec, 60000, 42);
 
+        if (trace_log)
+            trace_log->event("workload", {{"name", w.name}}, {});
         ssd::SsdSim sim_v(cfg, timing, vcost, 1);
+        sim_v.setTraceLog(trace_log.get());
         const auto rv = sim_v.run(tr);
         ssd::SsdSim sim_s(cfg, timing, scost, 1);
+        sim_s.setTraceLog(trace_log.get());
         const auto rs = sim_s.run(tr);
+
+        if (metrics_file.is_open()) {
+            metrics_file << (n ? ", " : "") << '"'
+                         << util::jsonEscape(w.name) << "\": {\""
+                         << util::jsonEscape(rv.policy) << "\": ";
+            rv.writeJson(metrics_file);
+            metrics_file << ", \"" << util::jsonEscape(rs.policy)
+                         << "\": ";
+            rs.writeJson(metrics_file);
+            metrics_file << "}";
+        }
 
         const double red =
             1.0 - rs.readLatencyUs.mean() / rv.readLatencyUs.mean();
@@ -79,6 +114,11 @@ main(int argc, char **argv)
                    util::fmt(rs.readLatencyUs.mean(), 0),
                    util::fmtPct(red)});
     }
+    if (metrics_file.is_open()) {
+        metrics_file << "}}\n";
+        util::inform("metrics written to " + metrics_out);
+    }
+
     table.print(std::cout);
     std::cout << "\nmean read-latency reduction: " << util::fmtPct(sum / n)
               << " (paper: 74%)\n";

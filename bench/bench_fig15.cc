@@ -5,7 +5,10 @@
  * after calibration (QLC).
  */
 
+#include <cstdlib>
+
 #include "bench_support.hh"
+#include "core/policy_metrics.hh"
 
 using namespace flash;
 
@@ -13,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     const int threads = bench::threadsArg(argc, argv);
+    const std::string metrics_out = bench::metricsOutArg(argc, argv);
     bench::header("Figure 15",
                   "% wordlines achieving the optimal voltage after "
                   "inference / calibration (QLC, P/E 3000 + 1 y)",
@@ -56,6 +60,30 @@ main(int argc, char **argv)
                    util::fmtPct(c)});
     }
     table.print(std::cout);
+
+    if (!metrics_out.empty()) {
+        // Per-boundary accuracy as a registry: counters for the
+        // success tallies, histograms for calibration effort and the
+        // final |offset - optimal| error.
+        util::MetricsRegistry m;
+        for (const auto &acc : accs) {
+            m.add("accuracy.wordlines");
+            m.observe("accuracy.calib_steps", acc.calibSteps);
+            for (int k = 1; k <= 15; ++k) {
+                const auto &b =
+                    acc.boundaries[static_cast<std::size_t>(k)];
+                m.add("accuracy.boundaries");
+                m.add("accuracy.infer_ok",
+                      static_cast<std::uint64_t>(b.inferOk));
+                m.add("accuracy.calib_ok",
+                      static_cast<std::uint64_t>(b.calibOk));
+                m.observe("accuracy.abs_offset_error_dac",
+                          std::abs(b.offCalibrated - b.offOptimal));
+            }
+        }
+        core::savePolicyMetricsJson(metrics_out,
+                                    {{"sentinel-accuracy", m}});
+    }
 
     std::cout << "\nmean over voltages: inference "
               << util::fmtPct(sum_i / 15) << ", calibration "

@@ -75,6 +75,38 @@ threadsArg(int argc, char **argv)
     return threads;
 }
 
+/**
+ * Parse a `--name VALUE` (or `--name=VALUE`) string option; empty
+ * when absent.
+ */
+inline std::string
+stringArg(int argc, char **argv, const std::string &name)
+{
+    const std::string flag = "--" + name;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == flag && i + 1 < argc)
+            return argv[i + 1];
+        if (a.rfind(flag + "=", 0) == 0)
+            return a.substr(flag.size() + 1);
+    }
+    return "";
+}
+
+/** `--metrics-out FILE`: path of the metrics JSON export. */
+inline std::string
+metricsOutArg(int argc, char **argv)
+{
+    return stringArg(argc, argv, "metrics-out");
+}
+
+/** `--trace-out FILE`: path of the JSON-lines event trace. */
+inline std::string
+traceOutArg(int argc, char **argv)
+{
+    return stringArg(argc, argv, "trace-out");
+}
+
 /** Factory characterization with a bench-friendly sample budget. */
 inline core::Characterization
 characterize(nand::Chip &chip, int wl_stride, int threads = 1)

@@ -8,6 +8,9 @@
 #include "bench_support.hh"
 #include "core/error_difference.hh"
 #include "core/inference.hh"
+#include "core/policy_metrics.hh"
+#include "core/read_policy.hh"
+#include "ecc/ecc_model.hh"
 #include "nandsim/read_seq.hh"
 #include "nandsim/snapshot.hh"
 #include "util/rng.hh"
@@ -17,6 +20,32 @@ using namespace flash;
 
 namespace
 {
+
+/**
+ * `--metrics-out`: per-policy read-path metrics on the TLC chip at
+ * the production sentinel ratio. The export reuses the library path
+ * the regression tests pin down (collectPolicyMetrics), so p50/p99
+ * and every counter reproduce bit-identically at any --threads N.
+ */
+void
+exportMetrics(nand::Chip &chip, const core::Characterization &tables,
+              const std::string &path, int threads)
+{
+    const auto overlay =
+        core::makeOverlay(chip.geometry(), core::SentinelConfig{});
+    chip.programBlock(bench::kEvalBlock, bench::kChipSeed ^ 0x7AB1E,
+                      overlay);
+    bench::ageBlock(chip, bench::kEvalBlock, 5000);
+
+    const ecc::EccModel ecc_model(ecc::EccConfig{16384, 145});
+    const core::VendorRetryPolicy vendor(chip.model());
+    core::SentinelPolicy sentinel(tables, chip.model().defaultVoltages());
+
+    const auto runs = core::collectPolicyMetrics(
+        chip, bench::kEvalBlock, {&vendor, &sentinel}, ecc_model, overlay,
+        {}, -1, 1, threads);
+    core::savePolicyMetricsJson(path, runs);
+}
 
 void
 runChip(nand::Chip &chip, const char *name, std::uint32_t pe,
@@ -89,6 +118,7 @@ int
 main(int argc, char **argv)
 {
     const int threads = bench::threadsArg(argc, argv);
+    const std::string metrics_out = bench::metricsOutArg(argc, argv);
     bench::header("Table I",
                   "|predicted - real| optimal sentinel offset vs "
                   "sentinel ratio",
@@ -99,6 +129,11 @@ main(int argc, char **argv)
     runChip(tlc, "TLC (P/E 5000 + 1 y)", 5000, 16, threads);
     auto qlc = bench::makeQlcChip();
     runChip(qlc, "QLC (P/E 3000 + 1 y)", 3000, 48, threads);
+
+    if (!metrics_out.empty()) {
+        const auto tables = bench::characterize(tlc, 16, threads);
+        exportMetrics(tlc, tables, metrics_out, threads);
+    }
 
     bench::footer("prediction error falls monotonically as more sentinel "
                   "cells are reserved (shot noise ~ 1/sqrt(n)), with "

@@ -30,7 +30,8 @@ evaluateBlock(const nand::Chip &chip, int block, const ReadPolicy &policy,
               const ecc::EccModel &ecc_model,
               const std::optional<nand::SentinelOverlay> &overlay,
               const LatencyParams &latency, int page, int wl_stride,
-              int threads, std::uint64_t read_stream)
+              int threads, std::uint64_t read_stream,
+              util::TraceLog *trace)
 {
     util::fatalIf(wl_stride < 1, "evaluateBlock: bad stride");
     util::fatalIf(threads < 1, "evaluateBlock: bad thread count");
@@ -53,14 +54,29 @@ evaluateBlock(const nand::Chip &chip, int block, const ReadPolicy &policy,
         });
 
     PolicyBlockStats stats;
-    for (const ReadSessionResult &session : sessions) {
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+        const ReadSessionResult &session = sessions[i];
+        const double latency_us = sessionLatencyUs(session, latency);
         ++stats.sessions;
         if (!session.success)
             ++stats.failures;
         stats.retries.add(session.retries());
         stats.senseOps.add(session.senseOps);
-        stats.latencyUs.add(sessionLatencyUs(session, latency));
+        stats.latencyUs.add(latency_us);
         stats.retriesPerWordline.push_back(session.retries());
+        recordSession(stats.metrics, session, latency_us);
+        if (trace) {
+            trace->event(
+                "read_session", {{"policy", policy.name()}},
+                {{"wordline", static_cast<double>(wls[i])},
+                 {"page", static_cast<double>(target_page)},
+                 {"attempts", static_cast<double>(session.attempts)},
+                 {"sense_ops", static_cast<double>(session.senseOps)},
+                 {"assist_reads",
+                  static_cast<double>(session.assistReads)},
+                 {"success", session.success ? 1.0 : 0.0},
+                 {"latency_us", latency_us}});
+        }
     }
     return stats;
 }

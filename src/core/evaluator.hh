@@ -16,6 +16,7 @@
 
 #include "core/read_policy.hh"
 #include "util/stats.hh"
+#include "util/trace_log.hh"
 
 namespace flash::core
 {
@@ -29,6 +30,13 @@ struct PolicyBlockStats
     std::vector<int> retriesPerWordline; ///< Fig 13 series
     int sessions = 0;
     int failures = 0; ///< sessions ending in read failure
+
+    /**
+     * Per-session counters and latency histograms ("read.*", see
+     * core::recordSession). Filled in the sequential reduction, so
+     * identical at every thread count.
+     */
+    util::MetricsRegistry metrics;
 };
 
 /**
@@ -44,6 +52,8 @@ struct PolicyBlockStats
  * @param wl_stride Sample every Nth wordline.
  * @param threads Worker threads (1 = serial).
  * @param read_stream Read-noise stream key (see nand::ReadClock).
+ * @param trace Optional event log: one "read_session" event per
+ *        sampled wordline, emitted in wordline order.
  */
 PolicyBlockStats evaluateBlock(const nand::Chip &chip, int block,
                                const ReadPolicy &policy,
@@ -52,7 +62,8 @@ PolicyBlockStats evaluateBlock(const nand::Chip &chip, int block,
                                    &overlay,
                                const LatencyParams &latency, int page = -1,
                                int wl_stride = 1, int threads = 1,
-                               std::uint64_t read_stream = 0);
+                               std::uint64_t read_stream = 0,
+                               util::TraceLog *trace = nullptr);
 
 /**
  * The paper's success rule: a found voltage succeeds when the RBER it

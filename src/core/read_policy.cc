@@ -27,6 +27,32 @@ sessionLatencyUs(const ReadSessionResult &session,
         + session.senseOps * params.senseUs + params.transferUs;
 }
 
+void
+recordSession(util::MetricsRegistry &metrics,
+              const ReadSessionResult &session, double latency_us)
+{
+    metrics.add("read.sessions");
+    // Delta 0 still materializes the counter: every export carries the
+    // full schema, so metrics_diff never sees a key appear or vanish.
+    metrics.add("read.failures", session.success ? 0u : 1u);
+    metrics.add("read.attempts", static_cast<std::uint64_t>(session.attempts));
+    metrics.add("read.retries",
+                static_cast<std::uint64_t>(session.retries()));
+    metrics.add("read.sense_ops",
+                static_cast<std::uint64_t>(session.senseOps));
+    metrics.add("read.assist_reads",
+                static_cast<std::uint64_t>(session.assistReads));
+    metrics.add("read.calib.case1_tune_further",
+                static_cast<std::uint64_t>(session.calibTuneFurther));
+    metrics.add("read.calib.case2_tune_back",
+                static_cast<std::uint64_t>(session.calibTuneBack));
+    metrics.add("read.calib.converged",
+                static_cast<std::uint64_t>(session.calibConverged));
+    metrics.observe("read.latency_us", latency_us);
+    metrics.observe("read.attempts_per_read", session.attempts);
+    metrics.observe("read.sense_ops_per_read", session.senseOps);
+}
+
 ReadContext::ReadContext(const nand::Chip &chip, int block, int wl,
                          int page, const ecc::EccModel &ecc_model,
                          std::optional<nand::SentinelOverlay> overlay,
@@ -280,11 +306,14 @@ SentinelPolicy::read(ReadContext &ctx) const
                 calibration_.matchTolerance);
             if (obs.decision == CalibrationCase::Converged) {
                 converged = true;
+                ++session.calibConverged;
             } else {
-                offset = calibratedOffset(
-                    offset,
-                    obs.decision == CalibrationCase::TuneFurther, d,
-                    calibration_.delta);
+                const bool further =
+                    obs.decision == CalibrationCase::TuneFurther;
+                ++(further ? session.calibTuneFurther
+                           : session.calibTuneBack);
+                offset = calibratedOffset(offset, further, d,
+                                          calibration_.delta);
             }
         }
         int try_offset = offset;

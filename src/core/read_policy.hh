@@ -26,6 +26,7 @@
 #include "nandsim/oracle.hh"
 #include "nandsim/read_seq.hh"
 #include "nandsim/snapshot.hh"
+#include "util/metrics.hh"
 
 namespace flash::core
 {
@@ -49,6 +50,15 @@ struct ReadSessionResult
 
     /** Data-region bit errors of the last attempt. */
     std::uint64_t finalErrors = 0;
+
+    /**
+     * Calibration outcome counts of this session (sentinel policy
+     * only): case-1 "tune further" decisions, case-2 "tune back"
+     * decisions, and converged state-change comparisons.
+     */
+    int calibTuneFurther = 0;
+    int calibTuneBack = 0;
+    int calibConverged = 0;
 
     /** Read retries = attempts after the first. */
     int retries() const { return attempts > 0 ? attempts - 1 : 0; }
@@ -75,6 +85,17 @@ struct LatencyParams
  */
 double sessionLatencyUs(const ReadSessionResult &session,
                         const LatencyParams &params);
+
+/**
+ * Accumulate one session into a metrics registry under the "read.*"
+ * namespace: counters read.sessions, read.failures, read.attempts,
+ * read.retries, read.sense_ops, read.assist_reads and the calibration
+ * outcomes read.calib.{case1_tune_further, case2_tune_back,
+ * converged}; histograms read.latency_us, read.attempts_per_read and
+ * read.sense_ops_per_read.
+ */
+void recordSession(util::MetricsRegistry &metrics,
+                   const ReadSessionResult &session, double latency_us);
 
 /**
  * Shared state of one read session: lazily-built snapshots and the

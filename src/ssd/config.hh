@@ -69,6 +69,15 @@ struct SsdTiming
     double eraseUs = 3500.0;      ///< block erase
     double transferUsPerKb = 0.8; ///< channel transfer per KiB
     double decodeUs = 10.0;       ///< ECC decode attempt
+
+    void
+    validate() const
+    {
+        util::fatalIf(senseUs <= 0.0 || readBaseUs <= 0.0
+                          || programUs <= 0.0 || eraseUs <= 0.0
+                          || transferUsPerKb <= 0.0 || decodeUs < 0.0,
+                      "SsdTiming: non-positive timing parameter");
+    }
 };
 
 } // namespace flash::ssd

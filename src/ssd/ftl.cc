@@ -65,6 +65,60 @@ Ftl::freeBlocks(int plane) const
 }
 
 void
+Ftl::checkInvariants() const
+{
+    // Forward direction: every mapped LPN points at a page whose
+    // owner record names that LPN.
+    for (std::int64_t lpn = 0; lpn < logicalPages_; ++lpn) {
+        const std::int64_t packed = map_[static_cast<std::size_t>(lpn)];
+        if (packed < 0)
+            continue;
+        const PhysAddr a = unpack(packed);
+        util::panicIf(a.plane < 0 || a.plane >= config_.totalPlanes()
+                          || a.block < 0
+                          || a.block >= config_.blocksPerPlane || a.page < 0
+                          || a.page >= config_.pagesPerBlock,
+                      "ftl: mapped address out of range");
+        const auto &blk = planes_[static_cast<std::size_t>(a.plane)]
+                              .blocks[static_cast<std::size_t>(a.block)];
+        util::panicIf(blk.owner[static_cast<std::size_t>(a.page)] != lpn,
+                      "ftl: lost LPN mapping (owner mismatch)");
+    }
+
+    // Reverse direction: per-block counters and free-list purity.
+    for (std::size_t pi = 0; pi < planes_.size(); ++pi) {
+        const Plane &plane = planes_[pi];
+        for (std::size_t bi = 0; bi < plane.blocks.size(); ++bi) {
+            const Block &blk = plane.blocks[bi];
+            int valid = 0;
+            for (int p = 0; p < config_.pagesPerBlock; ++p) {
+                const std::int64_t lpn =
+                    blk.owner[static_cast<std::size_t>(p)];
+                if (lpn < 0)
+                    continue;
+                ++valid;
+                util::panicIf(p >= blk.nextPage,
+                              "ftl: owner past the write point");
+                PhysAddr a;
+                a.plane = static_cast<int>(pi);
+                a.block = static_cast<int>(bi);
+                a.page = p;
+                util::panicIf(map_[static_cast<std::size_t>(lpn)]
+                                  != pack(a),
+                              "ftl: stale owner (LPN maps elsewhere)");
+            }
+            util::panicIf(valid != blk.validPages,
+                          "ftl: valid-page count mismatch");
+        }
+        for (int b : plane.freeList) {
+            const Block &blk = plane.blocks[static_cast<std::size_t>(b)];
+            util::panicIf(blk.nextPage != 0 || blk.validPages != 0,
+                          "ftl: non-empty block on the free list");
+        }
+    }
+}
+
+void
 Ftl::invalidate(const PhysAddr &addr)
 {
     auto &blk = planes_[static_cast<std::size_t>(addr.plane)]

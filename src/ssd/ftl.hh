@@ -85,6 +85,15 @@ class Ftl
     /** Free blocks currently available in a plane. */
     int freeBlocks(int plane) const;
 
+    /**
+     * Verify internal consistency (panic on violation): every mapped
+     * LPN's physical page is owned by that LPN, per-block valid-page
+     * counts match their owner arrays, no physical page is owned by
+     * an LPN that maps elsewhere, and free-listed blocks are empty.
+     * O(physical pages); meant for tests and debugging.
+     */
+    void checkInvariants() const;
+
   private:
     struct Block
     {

@@ -5,11 +5,41 @@
 namespace flash::ssd
 {
 
+void
+SimReport::writeJson(std::ostream &os) const
+{
+    const auto stats_obj = [&os](const util::RunningStats &s) {
+        os << "{\"count\": " << s.count()
+           << ", \"mean\": " << util::jsonNumber(s.mean())
+           << ", \"stddev\": " << util::jsonNumber(s.stddev())
+           << ", \"min\": "
+           << util::jsonNumber(s.count() ? s.min() : 0.0)
+           << ", \"max\": "
+           << util::jsonNumber(s.count() ? s.max() : 0.0) << "}";
+    };
+    os << "{\"policy\": \"" << util::jsonEscape(policy) << '"'
+       << ", \"page_reads\": " << pageReads
+       << ", \"page_writes\": " << pageWrites << ", \"read_latency_us\": ";
+    stats_obj(readLatencyUs);
+    os << ", \"write_latency_us\": ";
+    stats_obj(writeLatencyUs);
+    os << ", \"ftl\": {\"host_writes\": " << ftl.hostWrites
+       << ", \"gc_runs\": " << ftl.gcRuns
+       << ", \"migrated_pages\": " << ftl.migratedPages
+       << ", \"erases\": " << ftl.erases
+       << ", \"waf\": " << util::jsonNumber(ftl.waf()) << "}"
+       << ", \"metrics\": ";
+    metrics.writeJson(os);
+    os << "}";
+}
+
 SsdSim::SsdSim(const SsdConfig &config, const SsdTiming &timing,
                ReadCostSource &read_cost, std::uint64_t seed)
     : config_(config), timing_(timing), readCost_(&read_cost),
       rng_(seed ^ util::mix64(0x73736473696dULL)), ftl_(config)
 {
+    config_.validate();
+    timing_.validate();
     planeFree_.assign(static_cast<std::size_t>(config_.totalPlanes()), 0.0);
     channelFree_.assign(static_cast<std::size_t>(config_.channels), 0.0);
 }
@@ -23,7 +53,7 @@ SsdSim::channelOf(int plane) const
 }
 
 double
-SsdSim::readPageOp(double arrival, int plane)
+SsdSim::readPageOp(double arrival, int plane, LatencyBreakdown &bd)
 {
     // Same per-session model as core::sessionLatencyUs: every attempt
     // pays command overhead plus a decode try, an assist read is a
@@ -31,10 +61,10 @@ SsdSim::readPageOp(double arrival, int plane)
     // counted in senseOps), and the page crosses the channel once —
     // modelled below as the bus transfer.
     const ReadCost cost = readCost_->sample(rng_);
-    const double flash_us =
-        cost.attempts * (timing_.readBaseUs + timing_.decodeUs)
-        + cost.assistReads * timing_.readBaseUs
-        + cost.senseOps * timing_.senseUs;
+    bd.senseUs = cost.senseOps * timing_.senseUs;
+    bd.baseUs = (cost.attempts + cost.assistReads) * timing_.readBaseUs;
+    bd.decodeUs = cost.attempts * timing_.decodeUs;
+    const double flash_us = bd.senseUs + bd.baseUs + bd.decodeUs;
 
     const double start =
         std::max(arrival, planeFree_[static_cast<std::size_t>(plane)]);
@@ -44,14 +74,43 @@ SsdSim::readPageOp(double arrival, int plane)
     const int ch = channelOf(plane);
     const double bus_start =
         std::max(flash_done, channelFree_[static_cast<std::size_t>(ch)]);
-    const double done =
-        bus_start + config_.pageKb * timing_.transferUsPerKb;
+    bd.xferUs = config_.pageKb * timing_.transferUsPerKb;
+    const double done = bus_start + bd.xferUs;
     channelFree_[static_cast<std::size_t>(ch)] = done;
+
+    bd.queueUs = (start - arrival) + (bus_start - flash_done);
+
+    metrics_.add("ssd.read.page_ops");
+    metrics_.add("ssd.read.attempts",
+                 static_cast<std::uint64_t>(cost.attempts));
+    metrics_.add("ssd.read.sense_ops",
+                 static_cast<std::uint64_t>(cost.senseOps));
+    metrics_.add("ssd.read.assist_reads",
+                 static_cast<std::uint64_t>(cost.assistReads));
+    metrics_.observe("ssd.read.latency_us", done - arrival);
+    metrics_.observe("ssd.read.queue_us", bd.queueUs);
+    metrics_.observe("ssd.read.queue_us.ch" + std::to_string(ch),
+                     bd.queueUs);
+    metrics_.observe("ssd.read.sense_us", bd.senseUs);
+    metrics_.observe("ssd.read.decode_us", bd.decodeUs);
+    metrics_.observe("ssd.read.xfer_us", bd.xferUs);
+    if (trace_) {
+        trace_->event("read_op",
+                      {{"t", arrival},
+                       {"plane", static_cast<double>(plane)},
+                       {"channel", static_cast<double>(ch)},
+                       {"queue_us", bd.queueUs},
+                       {"sense_us", bd.senseUs},
+                       {"base_us", bd.baseUs},
+                       {"decode_us", bd.decodeUs},
+                       {"xfer_us", bd.xferUs},
+                       {"latency_us", done - arrival}});
+    }
     return done;
 }
 
 double
-SsdSim::writePageOp(double arrival, std::int64_t lpn)
+SsdSim::writePageOp(double arrival, std::int64_t lpn, LatencyBreakdown &bd)
 {
     const WriteEffect effect = ftl_.write(lpn);
     const int plane = effect.target.plane;
@@ -61,21 +120,47 @@ SsdSim::writePageOp(double arrival, std::int64_t lpn)
     // page moves and erases) occupies the plane first.
     const double bus_start =
         std::max(arrival, channelFree_[static_cast<std::size_t>(ch)]);
-    const double bus_done =
-        bus_start + config_.pageKb * timing_.transferUsPerKb;
+    bd.xferUs = config_.pageKb * timing_.transferUsPerKb;
+    const double bus_done = bus_start + bd.xferUs;
     channelFree_[static_cast<std::size_t>(ch)] = bus_done;
 
-    double gc_us = 0.0;
     if (effect.gcTriggered) {
-        gc_us = effect.gcMigratedPages
+        bd.gcUs = effect.gcMigratedPages
                 * (timing_.readBaseUs + timing_.senseUs + timing_.programUs)
             + effect.gcErases * timing_.eraseUs;
     }
 
     const double start = std::max(
         bus_done, planeFree_[static_cast<std::size_t>(plane)]);
-    const double done = start + gc_us + timing_.programUs;
+    bd.flashUs = timing_.programUs;
+    const double done = start + bd.gcUs + bd.flashUs;
     planeFree_[static_cast<std::size_t>(plane)] = done;
+
+    bd.queueUs = (bus_start - arrival) + (start - bus_done);
+
+    metrics_.add("ssd.write.page_ops");
+    metrics_.observe("ssd.write.latency_us", done - arrival);
+    metrics_.observe("ssd.write.queue_us", bd.queueUs);
+    if (effect.gcTriggered) {
+        metrics_.add("ssd.gc.triggered_writes");
+        metrics_.add("ssd.gc.migrated_pages",
+                     static_cast<std::uint64_t>(effect.gcMigratedPages));
+        metrics_.add("ssd.gc.erases",
+                     static_cast<std::uint64_t>(effect.gcErases));
+        metrics_.observe("ssd.write.gc_stall_us", bd.gcUs);
+    }
+    if (trace_) {
+        trace_->event("write_op",
+                      {{"t", arrival},
+                       {"lpn", static_cast<double>(lpn)},
+                       {"plane", static_cast<double>(plane)},
+                       {"channel", static_cast<double>(ch)},
+                       {"queue_us", bd.queueUs},
+                       {"xfer_us", bd.xferUs},
+                       {"gc_us", bd.gcUs},
+                       {"program_us", bd.flashUs},
+                       {"latency_us", done - arrival}});
+    }
     return done;
 }
 
@@ -100,13 +185,14 @@ SsdSim::run(const std::vector<trace::TraceRecord> &trace)
         double done = req.timestampUs;
         for (std::int64_t p = first; p < last; ++p) {
             const std::int64_t lpn = p % logical_pages;
+            LatencyBreakdown bd;
             double page_done;
             if (req.isRead) {
                 const PhysAddr addr = ftl_.translate(lpn);
-                page_done = readPageOp(req.timestampUs, addr.plane);
+                page_done = readPageOp(req.timestampUs, addr.plane, bd);
                 ++report.pageReads;
             } else {
-                page_done = writePageOp(req.timestampUs, lpn);
+                page_done = writePageOp(req.timestampUs, lpn, bd);
                 ++report.pageWrites;
             }
             done = std::max(done, page_done);
@@ -116,11 +202,24 @@ SsdSim::run(const std::vector<trace::TraceRecord> &trace)
         if (req.isRead) {
             report.readLatencyUs.add(latency);
             report.readLatencies.push_back(latency);
+            metrics_.observe("ssd.read.request_latency_us", latency);
         } else {
             report.writeLatencyUs.add(latency);
+            metrics_.observe("ssd.write.request_latency_us", latency);
+        }
+        if (trace_) {
+            trace_->event("request",
+                          {{"t", req.timestampUs},
+                           {"read", req.isRead ? 1.0 : 0.0},
+                           {"offset", static_cast<double>(req.offsetBytes)},
+                           {"size", static_cast<double>(req.sizeBytes)},
+                           {"pages", static_cast<double>(last - first)},
+                           {"latency_us", latency}});
         }
     }
     report.ftl = ftl_.stats();
+    report.metrics = std::move(metrics_);
+    metrics_ = util::MetricsRegistry();
     return report;
 }
 

@@ -7,6 +7,11 @@
  * from contention. Read flash time depends on the read policy's
  * per-read cost (attempts / sense ops / assist reads) sampled from an
  * empirical distribution measured on the chip model.
+ *
+ * Every page operation is decomposed into a LatencyBreakdown
+ * (queueing / sense / transfer / decode / GC-stall components) that
+ * feeds the run's metrics registry ("ssd.*" counters and histograms)
+ * and, when attached, a JSON-lines event trace.
  */
 
 #ifndef SENTINELFLASH_SSD_SSD_SIM_HH
@@ -19,10 +24,31 @@
 #include "ssd/ftl.hh"
 #include "ssd/read_cost.hh"
 #include "trace/trace.hh"
+#include "util/metrics.hh"
 #include "util/stats.hh"
+#include "util/trace_log.hh"
 
 namespace flash::ssd
 {
+
+/** Where the time of one page operation went. */
+struct LatencyBreakdown
+{
+    double queueUs = 0.0;  ///< waiting for the plane and the channel
+    double senseUs = 0.0;  ///< read-voltage applications on-die
+    double baseUs = 0.0;   ///< fixed per-attempt command overhead
+    double decodeUs = 0.0; ///< ECC decode attempts
+    double xferUs = 0.0;   ///< channel transfer
+    double gcUs = 0.0;     ///< GC work serialized before this op
+    double flashUs = 0.0;  ///< program time (writes)
+
+    double
+    totalUs() const
+    {
+        return queueUs + senseUs + baseUs + decodeUs + xferUs + gcUs
+            + flashUs;
+    }
+};
 
 /** Results of one trace replay. */
 struct SimReport
@@ -34,17 +60,42 @@ struct SimReport
     FtlStats ftl;
     std::uint64_t pageReads = 0;
     std::uint64_t pageWrites = 0;
+
+    /**
+     * Per-op decomposition and queue metrics ("ssd.*"): histograms
+     * ssd.read.{latency,queue,sense,xfer,decode}_us, per-channel
+     * queue delay ssd.read.queue_us.ch<K>, write-side GC stalls
+     * ssd.write.gc_stall_us, plus the request-level
+     * ssd.read.request_latency_us.
+     */
+    util::MetricsRegistry metrics;
+
+    /**
+     * Serialize the whole report (policy, request stats, FTL counters
+     * and the metrics registry) as one JSON object. Deterministic
+     * byte-for-byte for a fixed run.
+     */
+    void writeJson(std::ostream &os) const;
 };
 
 /**
  * The simulator. One instance replays one trace; construct a fresh
- * one per run (the FTL state is part of the run).
+ * one per run (the FTL state is part of the run). Validates the
+ * organization and timing at construction.
  */
 class SsdSim
 {
   public:
     SsdSim(const SsdConfig &config, const SsdTiming &timing,
            ReadCostSource &read_cost, std::uint64_t seed);
+
+    /**
+     * Attach a JSON-lines event trace: one "read_op" / "write_op"
+     * event per page operation with its LatencyBreakdown, plus one
+     * "request" event per trace record. Pass nullptr to detach. The
+     * log must outlive run().
+     */
+    void setTraceLog(util::TraceLog *trace) { trace_ = trace; }
 
     /** Replay a trace and report latencies. */
     SimReport run(const std::vector<trace::TraceRecord> &trace);
@@ -53,14 +104,17 @@ class SsdSim
     /** Channel of a global plane index. */
     int channelOf(int plane) const;
 
-    double readPageOp(double arrival, int plane);
-    double writePageOp(double arrival, std::int64_t lpn);
+    double readPageOp(double arrival, int plane, LatencyBreakdown &bd);
+    double writePageOp(double arrival, std::int64_t lpn,
+                       LatencyBreakdown &bd);
 
     SsdConfig config_;
     SsdTiming timing_;
     ReadCostSource *readCost_;
     util::Rng rng_;
     Ftl ftl_;
+    util::MetricsRegistry metrics_;
+    util::TraceLog *trace_ = nullptr;
 
     std::vector<double> planeFree_;
     std::vector<double> channelFree_;

@@ -1,0 +1,141 @@
+#include "trace/msr_parser.hh"
+
+#include <array>
+#include <charconv>
+#include <istream>
+#include <string>
+
+namespace flash::trace
+{
+
+namespace
+{
+
+/** Split @p line into exactly @p N comma-separated fields. */
+template <std::size_t N>
+bool
+splitFields(std::string_view line, std::array<std::string_view, N> &out)
+{
+    std::size_t field = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+        if (i == line.size() || line[i] == ',') {
+            if (field >= N)
+                return false;
+            out[field++] = line.substr(start, i - start);
+            start = i + 1;
+        }
+    }
+    return field == N;
+}
+
+/** Strict unsigned decimal parse of a whole field. */
+bool
+parseU64(std::string_view s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    const auto res = std::from_chars(s.data(), s.data() + s.size(), out);
+    return res.ec == std::errc() && res.ptr == s.data() + s.size();
+}
+
+bool
+equalsIgnoreCase(std::string_view s, std::string_view lower)
+{
+    if (s.size() != lower.size())
+        return false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        const char l =
+            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        if (l != lower[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<TraceRecord>
+parseMsrLine(std::string_view line, const MsrParseOptions &options,
+             MsrParseStats *stats)
+{
+    MsrParseStats scratch;
+    MsrParseStats &st = stats ? *stats : scratch;
+    ++st.lines;
+
+    // Tolerate trailing CR of CRLF traces.
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+
+    std::array<std::string_view, 7> f;
+    if (!splitFields(line, f)) {
+        ++st.malformed;
+        return std::nullopt;
+    }
+
+    std::uint64_t ticks = 0, disk = 0, offset = 0, size = 0, resp = 0;
+    if (!parseU64(f[0], ticks) || !parseU64(f[2], disk)
+        || !parseU64(f[4], offset) || !parseU64(f[5], size)
+        || !parseU64(f[6], resp)) {
+        ++st.malformed;
+        return std::nullopt;
+    }
+
+    bool is_read;
+    if (equalsIgnoreCase(f[3], "read")) {
+        is_read = true;
+    } else if (equalsIgnoreCase(f[3], "write")) {
+        is_read = false;
+    } else {
+        ++st.malformed;
+        return std::nullopt;
+    }
+
+    if (size == 0) {
+        ++st.zeroSized;
+        return std::nullopt;
+    }
+    if (size > options.maxSizeBytes) {
+        size = options.maxSizeBytes;
+        ++st.clamped;
+    }
+    if (options.maxOffsetBytes != 0 && offset >= options.maxOffsetBytes) {
+        offset %= options.maxOffsetBytes;
+        ++st.clamped;
+    }
+
+    TraceRecord rec;
+    rec.timestampUs =
+        static_cast<double>(ticks) / 10.0; // 100 ns ticks -> us
+    rec.offsetBytes = offset;
+    rec.sizeBytes = static_cast<std::uint32_t>(size);
+    rec.isRead = is_read;
+    ++st.parsed;
+    return rec;
+}
+
+std::vector<TraceRecord>
+parseMsrTrace(std::istream &in, const MsrParseOptions &options,
+              MsrParseStats *stats)
+{
+    MsrParseStats scratch;
+    MsrParseStats &st = stats ? *stats : scratch;
+
+    std::vector<TraceRecord> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (auto rec = parseMsrLine(line, options, &st))
+            out.push_back(*rec);
+    }
+    if (!out.empty()) {
+        const double epoch = out.front().timestampUs;
+        for (auto &rec : out)
+            rec.timestampUs -= epoch;
+    }
+    return out;
+}
+
+} // namespace flash::trace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parser for MSR-Cambridge-format block I/O traces.
+ *
+ * Line format (CSV, seven fields):
+ *   Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+ * where Timestamp is in Windows filetime ticks (100 ns), Type is
+ * "Read" or "Write" (case-insensitive), Offset/Size are bytes and
+ * ResponseTime is ignored.
+ *
+ * Real traces are dirty; the parser's contract is to never crash and
+ * to handle every edge case deterministically:
+ *  - malformed lines (wrong field count, non-numeric fields, unknown
+ *    type, negative values) are skipped and counted;
+ *  - zero-length requests are rejected and counted (a zero-page op
+ *    has no defined latency);
+ *  - unaligned offsets/sizes pass through untouched (the simulator
+ *    splits them into page operations);
+ *  - requests larger than maxSizeBytes are clamped and counted;
+ *  - offsets at or beyond maxOffsetBytes wrap modulo the range and
+ *    are counted (the simulator's LPN folding made explicit).
+ */
+
+#ifndef SENTINELFLASH_TRACE_MSR_PARSER_HH
+#define SENTINELFLASH_TRACE_MSR_PARSER_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+#include "trace/trace.hh"
+
+namespace flash::trace
+{
+
+/** Edge-case policy of the MSR parser. */
+struct MsrParseOptions
+{
+    /** Offsets wrap modulo this when non-zero. */
+    std::uint64_t maxOffsetBytes = 0;
+
+    /** Requests larger than this are clamped (64 MiB default). */
+    std::uint32_t maxSizeBytes = 64u << 20;
+};
+
+/** What the parser did with the input. */
+struct MsrParseStats
+{
+    std::size_t lines = 0;     ///< non-empty, non-comment lines seen
+    std::size_t parsed = 0;    ///< records produced
+    std::size_t malformed = 0; ///< rejected lines
+    std::size_t zeroSized = 0; ///< rejected zero-length requests
+    std::size_t clamped = 0;   ///< size-clamped or offset-wrapped
+};
+
+/**
+ * Parse one MSR line. Returns nullopt for malformed or zero-sized
+ * lines (@p stats, when given, says which). Timestamps convert to
+ * microseconds; no epoch normalization (see parseMsrTrace).
+ */
+std::optional<TraceRecord> parseMsrLine(std::string_view line,
+                                        const MsrParseOptions &options = {},
+                                        MsrParseStats *stats = nullptr);
+
+/**
+ * Parse a whole MSR CSV stream, skipping blank lines and '#'
+ * comments. Timestamps are rebased so the first parsed record starts
+ * at 0 (the simulators treat arrival times as trace-relative).
+ */
+std::vector<TraceRecord> parseMsrTrace(std::istream &in,
+                                       const MsrParseOptions &options = {},
+                                       MsrParseStats *stats = nullptr);
+
+} // namespace flash::trace
+
+#endif // SENTINELFLASH_TRACE_MSR_PARSER_HH

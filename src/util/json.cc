@@ -1,0 +1,207 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/logging.hh"
+
+namespace flash::util
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        fatalIf(pos_ != text_.size(), "json: trailing characters");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        fatalIf(pos_ >= text_.size(), "json: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        fatalIf(peek() != c,
+                std::string("json: expected '") + c + "' at offset "
+                    + std::to_string(pos_));
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        JsonValue v;
+        const char c = peek();
+        if (c == '{') {
+            v.type = JsonValue::Type::Object;
+            ++pos_;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                v.object[key] = value();
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                break;
+            }
+        } else if (c == '[') {
+            v.type = JsonValue::Type::Array;
+            ++pos_;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                v.array.push_back(value());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                break;
+            }
+        } else if (c == '"') {
+            v.type = JsonValue::Type::String;
+            v.string = parseString();
+        } else if (consume("true")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = true;
+        } else if (consume("false")) {
+            v.type = JsonValue::Type::Bool;
+            v.boolean = false;
+        } else if (consume("null")) {
+            v.type = JsonValue::Type::Null;
+        } else {
+            v.type = JsonValue::Type::Number;
+            v.number = parseNumber();
+        }
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            fatalIf(pos_ >= text_.size(), "json: unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            fatalIf(pos_ >= text_.size(), "json: dangling escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                fatalIf(pos_ + 4 > text_.size(), "json: bad \\u escape");
+                unsigned code = 0;
+                const auto res = std::from_chars(
+                    text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+                fatalIf(res.ec != std::errc()
+                            || res.ptr != text_.data() + pos_ + 4,
+                        "json: bad \\u escape");
+                pos_ += 4;
+                // ASCII only (all this repo ever writes).
+                fatalIf(code > 0x7f, "json: non-ASCII \\u escape");
+                out += static_cast<char>(code);
+                break;
+            }
+            default:
+                fatal("json: unknown escape");
+            }
+        }
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        double out = 0.0;
+        const auto res = std::from_chars(text_.data() + pos_,
+                                         text_.data() + text_.size(), out);
+        fatalIf(res.ec != std::errc(), "json: bad number at offset "
+                                           + std::to_string(pos_));
+        pos_ = static_cast<std::size_t>(res.ptr - text_.data());
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace flash::util

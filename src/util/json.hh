@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser.
+ *
+ * Just enough JSON to read back the metrics exports and trace events
+ * this repo writes (tools/metrics_diff, tests): objects, arrays,
+ * strings with the escapes jsonEscape() emits, doubles, booleans and
+ * null. Throws util::FatalError on malformed input.
+ */
+
+#ifndef SENTINELFLASH_UTIL_JSON_HH
+#define SENTINELFLASH_UTIL_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flash::util
+{
+
+/** One parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    // Key order of the document is irrelevant to the consumers;
+    // a map gives deterministic iteration.
+    std::map<std::string, JsonValue> object;
+
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Member lookup (nullptr when absent or not an object). */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/** Parse one JSON document (fatal on trailing garbage). */
+JsonValue parseJson(const std::string &text);
+
+} // namespace flash::util
+
+#endif // SENTINELFLASH_UTIL_JSON_HH

@@ -1,0 +1,237 @@
+#include "util/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace flash::util
+{
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // %.17g round-trips every double and formats the same bytes for
+    // the same value, which the golden-stats tests rely on.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+int
+LatencyHistogram::binOf(double v)
+{
+    if (!(v > 0.0))
+        return 0;
+    if (v < 1.0)
+        return 0;
+    int e = 0;
+    const double frac = std::frexp(v, &e); // v = frac * 2^e, frac in [0.5,1)
+    // Power-of-two range [2^(e-1), 2^e): linear position of v inside.
+    const int sub = std::min(
+        kSubBins - 1,
+        static_cast<int>((frac - 0.5) * 2.0 * kSubBins));
+    const int range = std::min(e - 1, 63); // cap at ~9.2e18
+    return 1 + range * kSubBins + sub;
+}
+
+double
+LatencyHistogram::binLo(int idx)
+{
+    if (idx <= 0)
+        return 0.0;
+    const int range = (idx - 1) / kSubBins;
+    const int sub = (idx - 1) % kSubBins;
+    const double base = std::ldexp(1.0, range);
+    return base * (1.0 + static_cast<double>(sub) / kSubBins);
+}
+
+double
+LatencyHistogram::binHi(int idx)
+{
+    if (idx <= 0)
+        return 1.0;
+    const int range = (idx - 1) / kSubBins;
+    const int sub = (idx - 1) % kSubBins;
+    const double base = std::ldexp(1.0, range);
+    return base * (1.0 + static_cast<double>(sub + 1) / kSubBins);
+}
+
+void
+LatencyHistogram::add(double v)
+{
+    if (v < 0.0 || !std::isfinite(v))
+        v = 0.0;
+    const int idx = binOf(v);
+    if (static_cast<std::size_t>(idx) >= bins_.size())
+        bins_.resize(static_cast<std::size_t>(idx) + 1, 0);
+    ++bins_[static_cast<std::size_t>(idx)];
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (other.bins_.size() > bins_.size())
+        bins_.resize(other.bins_.size(), 0);
+    for (std::size_t i = 0; i < other.bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+LatencyHistogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank over integer bin counts: deterministic regardless
+    // of the order observations arrived in.
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        seen += bins_[i];
+        if (seen >= target) {
+            const double mid = 0.5
+                * (binLo(static_cast<int>(i)) + binHi(static_cast<int>(i)));
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::writeJson(std::ostream &os) const
+{
+    os << "{\"count\": " << count_
+       << ", \"sum\": " << jsonNumber(sum_)
+       << ", \"min\": " << jsonNumber(min())
+       << ", \"max\": " << jsonNumber(max())
+       << ", \"mean\": " << jsonNumber(mean())
+       << ", \"p50\": " << jsonNumber(percentile(0.50))
+       << ", \"p90\": " << jsonNumber(percentile(0.90))
+       << ", \"p99\": " << jsonNumber(percentile(0.99))
+       << ", \"p999\": " << jsonNumber(percentile(0.999)) << "}";
+}
+
+void
+MetricsRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value)
+{
+    histograms_[name].add(value);
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+const LatencyHistogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto &[name, hist] : other.histograms_)
+        histograms_[name].merge(hist);
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << '"' << jsonEscape(name) << "\": " << value;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : histograms_) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << '"' << jsonEscape(name) << "\": ";
+        hist.writeJson(os);
+    }
+    os << "}}";
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream ss;
+    writeJson(ss);
+    return ss.str();
+}
+
+} // namespace flash::util

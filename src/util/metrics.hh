@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Lightweight metrics registry for the read pipeline: named counters
+ * and fixed-bin latency histograms with percentile queries.
+ *
+ * Everything here is built for deterministic, mergeable accumulation:
+ * a histogram is a vector of integer bin counts (log2 buckets split
+ * into linear sub-bins, HdrHistogram style), so merging per-shard
+ * instances bin-wise is exactly equivalent to a single-pass fill and
+ * the exported percentiles are bit-identical at any thread count.
+ * Floating-point sums are the one order-sensitive quantity; the
+ * evaluators therefore record sequentially in wordline order after
+ * the parallel phase, never from worker threads.
+ */
+
+#ifndef SENTINELFLASH_UTIL_METRICS_HH
+#define SENTINELFLASH_UTIL_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flash::util
+{
+
+/** Format a double for JSON (shortest round-trip, deterministic). */
+std::string jsonNumber(double v);
+
+/** Escape a string for embedding in JSON. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Fixed-bin latency histogram over non-negative values (microseconds
+ * by convention). Bin layout: one bin per value below 1.0, then each
+ * power-of-two range [2^e, 2^(e+1)) is split into kSubBins linear
+ * sub-bins, bounding the relative quantization error of a percentile
+ * by 1/kSubBins. Bins are integer counts, so merge() is exact and
+ * order-independent.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Linear sub-bins per power-of-two range. */
+    static constexpr int kSubBins = 64;
+
+    /** Record one observation (negatives clamp to 0). */
+    void add(double v);
+
+    /** Merge another histogram into this one (exact, bin-wise). */
+    void merge(const LatencyHistogram &other);
+
+    /** Number of observations. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of observations (order-sensitive; see file comment). */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Smallest observation (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest observation (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Quantile @p q in [0, 1] by nearest rank over the bins; returns
+     * the midpoint of the containing bin (clamped to the observed
+     * min/max), 0 when empty. Monotone non-decreasing in q.
+     */
+    double percentile(double q) const;
+
+    /** Bin index of a value (exposed for tests). */
+    static int binOf(double v);
+
+    /** Lower edge of bin @p idx (exposed for tests). */
+    static double binLo(int idx);
+
+    /** Upper edge of bin @p idx (exposed for tests). */
+    static double binHi(int idx);
+
+    /**
+     * Export as a JSON object: count, sum, min, max, mean and the
+     * standard percentiles p50/p90/p99/p999.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Registry of named counters and latency histograms. Names are
+ * dot-separated paths ("ssd.read.queue_us"); export order is the
+ * lexicographic name order, so two registries with equal content
+ * serialize to equal bytes.
+ *
+ * Not thread-safe: accumulate per shard and merge(), or record from
+ * one thread only.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Increment a named counter. */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Current value of a counter (0 when never incremented). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Record an observation into a named histogram. */
+    void observe(const std::string &name, double value);
+
+    /** Histogram by name (created empty on first access). */
+    LatencyHistogram &histogram(const std::string &name);
+
+    /** Histogram lookup without creation (nullptr when absent). */
+    const LatencyHistogram *findHistogram(const std::string &name) const;
+
+    /** Merge counters and histograms of @p other into this. */
+    void merge(const MetricsRegistry &other);
+
+    /** All counters (name-ordered). */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** All histograms (name-ordered). */
+    const std::map<std::string, LatencyHistogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /**
+     * Export as one JSON object:
+     * {"counters": {name: value, ...},
+     *  "histograms": {name: {count, sum, min, max, mean,
+     *                        p50, p90, p99, p999}, ...}}
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson() into a string. */
+    std::string toJson() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, LatencyHistogram> histograms_;
+};
+
+} // namespace flash::util
+
+#endif // SENTINELFLASH_UTIL_METRICS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * JSON-lines event trace for the read pipeline (`--trace-out FILE`).
+ *
+ * One event per line: {"event": "<type>", "<key>": <number>, ...}
+ * with optional string-valued fields. Events are emitted from the
+ * sequential phases of the simulators/evaluators, so a trace written
+ * at `--threads N` is byte-identical to the single-threaded one.
+ * Schema: see DESIGN.md §10.
+ */
+
+#ifndef SENTINELFLASH_UTIL_TRACE_LOG_HH
+#define SENTINELFLASH_UTIL_TRACE_LOG_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace flash::util
+{
+
+/** Appends JSON-lines events to a caller-owned stream. */
+class TraceLog
+{
+  public:
+    using NumField = std::pair<const char *, double>;
+    using StrField = std::pair<const char *, std::string>;
+
+    explicit TraceLog(std::ostream &os) : os_(&os) {}
+
+    /** Emit one event with numeric fields only. */
+    void event(const char *type, std::initializer_list<NumField> nums);
+
+    /** Emit one event with string and numeric fields. */
+    void event(const char *type, std::initializer_list<StrField> strs,
+               std::initializer_list<NumField> nums);
+
+    /** Number of events emitted so far. */
+    std::uint64_t events() const { return events_; }
+
+  private:
+    std::ostream *os_;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace flash::util
+
+#endif // SENTINELFLASH_UTIL_TRACE_LOG_HH

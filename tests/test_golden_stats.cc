@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-stats regression suite: the per-policy metrics export of a
+ * small fixed configuration is compared byte-for-byte against a
+ * committed snapshot. Any change to the read path — retry tables,
+ * sentinel inference, calibration logic, latency constants, histogram
+ * binning — shows up as a diff here before it shows up as a silently
+ * shifted benchmark figure.
+ *
+ * Regenerating after an intentional change:
+ *   SENTINELFLASH_UPDATE_GOLDEN=1 ./test_golden_stats
+ * then review the diff of tests/golden/*.json like any other code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/policy_metrics.hh"
+#include "test_support.hh"
+
+#ifndef SENTINELFLASH_GOLDEN_DIR
+#error "SENTINELFLASH_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace flash::core
+{
+namespace
+{
+
+std::string
+goldenPath(const char *name)
+{
+    return std::string(SENTINELFLASH_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+updateMode()
+{
+    const char *env = std::getenv("SENTINELFLASH_UPDATE_GOLDEN");
+    return env && *env && std::string(env) != "0";
+}
+
+/**
+ * Compare @p actual against the committed snapshot, or rewrite the
+ * snapshot in update mode.
+ */
+void
+expectMatchesGolden(const char *name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateMode()) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing snapshot " << path
+                    << " (run with SENTINELFLASH_UPDATE_GOLDEN=1)";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string expected = ss.str();
+    EXPECT_EQ(expected, actual)
+        << "metrics export drifted from " << path
+        << "; if the change is intentional, regenerate with "
+           "SENTINELFLASH_UPDATE_GOLDEN=1 and review the JSON diff";
+}
+
+/**
+ * One deterministic small-config run: aged block, vendor-retry and
+ * sentinel policies over every 4th wordline's MSB page.
+ */
+std::string
+exportFor(nand::CellType cell_type)
+{
+    const bool tlc = cell_type == nand::CellType::TLC;
+    nand::Chip chip(tlc ? test::mediumTlcGeometry()
+                        : test::mediumQlcGeometry(),
+                    tlc ? nand::tlcVoltageParams()
+                        : nand::qlcVoltageParams(),
+                    20260805);
+    CharOptions opt;
+    opt.sentinel.ratio = 0.01;
+    opt.wordlineStride = 4;
+    const FactoryCharacterizer characterizer(opt);
+    const Characterization tables = characterizer.run(chip);
+    const auto overlay = makeOverlay(chip.geometry(), opt.sentinel);
+
+    chip.programBlock(1, 55, overlay);
+    chip.setPeCycles(1, tlc ? 5000u : 3000u);
+    chip.age(1, 8760.0, 25.0);
+
+    const ecc::EccModel ecc(ecc::EccConfig{16384, tlc ? 130 : 120});
+    const VendorRetryPolicy vendor(chip.model());
+    SentinelPolicy sentinel(tables, chip.model().defaultVoltages());
+    const auto runs = collectPolicyMetrics(chip, 1, {&vendor, &sentinel},
+                                           ecc, overlay, {}, -1, 4, 2);
+    std::ostringstream out;
+    writePolicyMetricsJson(out, runs);
+    return out.str();
+}
+
+TEST(GoldenStats, TlcPolicyMetricsMatchSnapshot)
+{
+    expectMatchesGolden("policy_metrics_tlc.json",
+                        exportFor(nand::CellType::TLC));
+}
+
+TEST(GoldenStats, QlcPolicyMetricsMatchSnapshot)
+{
+    expectMatchesGolden("policy_metrics_qlc.json",
+                        exportFor(nand::CellType::QLC));
+}
+
+} // namespace
+} // namespace flash::core

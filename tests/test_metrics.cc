@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/metrics.hh"
+#include "util/rng.hh"
+#include "util/trace_log.hh"
+
+namespace flash
+{
+namespace
+{
+
+using util::LatencyHistogram;
+using util::MetricsRegistry;
+
+/** Sort-based oracle: nearest-rank percentile of the raw sample. */
+double
+oraclePercentile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(q * static_cast<double>(n))));
+    return values[rank - 1];
+}
+
+std::vector<double>
+randomLatencies(std::uint64_t seed, std::size_t n)
+{
+    util::Rng rng(seed);
+    std::vector<double> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Heavy-tailed mix covering several orders of magnitude, the
+        // shape SSD latencies actually have.
+        const double base = rng.uniform(0.0, 100.0);
+        const double tail = rng.bernoulli(0.05)
+            ? rng.uniform(1e3, 1e6)
+            : 0.0;
+        v.push_back(base + tail);
+    }
+    return v;
+}
+
+TEST(LatencyHistogram, BinEdgesPartitionTheAxis)
+{
+    // Every bin's hi is the next bin's lo; binOf is consistent with
+    // the edges.
+    for (int idx = 0; idx < 300; ++idx) {
+        EXPECT_DOUBLE_EQ(LatencyHistogram::binHi(idx),
+                         LatencyHistogram::binLo(idx + 1));
+        const double lo = LatencyHistogram::binLo(idx);
+        EXPECT_EQ(LatencyHistogram::binOf(lo), idx) << "lo of bin " << idx;
+    }
+    EXPECT_EQ(LatencyHistogram::binOf(0.0), 0);
+    EXPECT_EQ(LatencyHistogram::binOf(0.999), 0);
+    EXPECT_EQ(LatencyHistogram::binOf(-5.0), 0);
+}
+
+TEST(LatencyHistogram, PercentileTracksSortOracle)
+{
+    // Quantization error of a percentile is bounded by one sub-bin:
+    // 1/kSubBins relative, plus the sub-unit bin 0 for tiny values.
+    const auto values = randomLatencies(0xabcdef, 5000);
+    LatencyHistogram h;
+    for (double v : values)
+        h.add(v);
+
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const double expect = oraclePercentile(values, q);
+        const double got = h.percentile(q);
+        const double tol =
+            expect * (2.0 / LatencyHistogram::kSubBins) + 1.0;
+        EXPECT_NEAR(got, expect, tol) << "q = " << q;
+    }
+}
+
+TEST(LatencyHistogram, PercentileMonotoneInQuantile)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto values = randomLatencies(seed, 2000);
+        LatencyHistogram h;
+        for (double v : values)
+            h.add(v);
+        double prev = -1.0;
+        for (int i = 0; i <= 100; ++i) {
+            const double p = h.percentile(i / 100.0);
+            EXPECT_GE(p, prev) << "q = " << i / 100.0;
+            prev = p;
+        }
+        EXPECT_LE(h.percentile(1.0), h.max());
+        EXPECT_GE(h.percentile(0.0), h.min());
+    }
+}
+
+TEST(LatencyHistogram, MergeEqualsSinglePass)
+{
+    // Randomized: split one sample into k shards in every way; the
+    // merged histogram must answer every integer-count query (count,
+    // min, max, every percentile) exactly like the single-pass fill.
+    for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+        const auto values = randomLatencies(seed, 1000);
+        util::Rng rng(seed ^ 0x5eed);
+        const int shards = 2 + static_cast<int>(rng.uniformInt(6));
+
+        LatencyHistogram single;
+        std::vector<LatencyHistogram> parts(
+            static_cast<std::size_t>(shards));
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            single.add(values[i]);
+            parts[rng.uniformInt(static_cast<std::uint64_t>(shards))].add(
+                values[i]);
+        }
+        LatencyHistogram merged;
+        for (const auto &p : parts)
+            merged.merge(p);
+
+        EXPECT_EQ(merged.count(), single.count());
+        EXPECT_DOUBLE_EQ(merged.min(), single.min());
+        EXPECT_DOUBLE_EQ(merged.max(), single.max());
+        // Sum is a float accumulation: order-sensitive, near-equal.
+        EXPECT_NEAR(merged.sum(), single.sum(),
+                    1e-9 * std::abs(single.sum()));
+        for (int i = 0; i <= 1000; ++i) {
+            const double q = i / 1000.0;
+            EXPECT_DOUBLE_EQ(merged.percentile(q), single.percentile(q))
+                << "q = " << q;
+        }
+    }
+}
+
+TEST(LatencyHistogram, EmptyAndSingleton)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    h.add(42.0);
+    EXPECT_EQ(h.count(), 1u);
+    // Percentiles of a singleton clamp into [min, max] = [42, 42].
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+
+    LatencyHistogram other;
+    other.merge(h); // merge into empty
+    EXPECT_EQ(other.count(), 1u);
+    EXPECT_DOUBLE_EQ(other.percentile(0.5), 42.0);
+}
+
+TEST(MetricsRegistry, CountersSumAcrossShards)
+{
+    // Randomized: counter increments distributed over shards merge to
+    // the single-registry totals.
+    util::Rng rng(77);
+    const std::vector<std::string> names = {"a", "b.c", "b.d"};
+    MetricsRegistry single;
+    std::vector<MetricsRegistry> shards(4);
+    for (int i = 0; i < 10000; ++i) {
+        const auto &name = names[rng.uniformInt(names.size())];
+        const std::uint64_t delta = rng.uniformInt(5);
+        single.add(name, delta);
+        shards[rng.uniformInt(shards.size())].add(name, delta);
+    }
+    MetricsRegistry merged;
+    for (const auto &s : shards)
+        merged.merge(s);
+    for (const auto &name : names)
+        EXPECT_EQ(merged.counter(name), single.counter(name)) << name;
+    EXPECT_EQ(merged.toJson(), single.toJson());
+}
+
+TEST(MetricsRegistry, JsonRoundTripsThroughParser)
+{
+    MetricsRegistry m;
+    m.add("read.sessions", 3);
+    m.add("read.attempts", 7);
+    m.observe("read.latency_us", 55.0);
+    m.observe("read.latency_us", 120.0);
+    m.observe("read.latency_us", 48.5);
+
+    const auto doc = util::parseJson(m.toJson());
+    ASSERT_TRUE(doc.isObject());
+    const auto *counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("read.sessions")->number, 3.0);
+    EXPECT_EQ(counters->find("read.attempts")->number, 7.0);
+    const auto *hist = doc.find("histograms")->find("read.latency_us");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->find("count")->number, 3.0);
+    EXPECT_DOUBLE_EQ(hist->find("min")->number, 48.5);
+    EXPECT_DOUBLE_EQ(hist->find("max")->number, 120.0);
+    EXPECT_DOUBLE_EQ(hist->find("sum")->number, 223.5);
+    // p50 lands in the bin containing 55 (relative error < 1/64).
+    EXPECT_NEAR(hist->find("p50")->number, 55.0, 55.0 / 32.0);
+}
+
+TEST(MetricsRegistry, ExportIsNameOrderedAndStable)
+{
+    MetricsRegistry a, b;
+    a.add("z", 1);
+    a.add("a", 2);
+    b.add("a", 2);
+    b.add("z", 1);
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_LT(a.toJson().find("\"a\""), a.toJson().find("\"z\""));
+}
+
+TEST(TraceLog, EmitsOneParsableObjectPerLine)
+{
+    std::ostringstream out;
+    util::TraceLog log(out);
+    log.event("read_op", {{"plane", 3.0}, {"latency_us", 123.456}});
+    log.event("request", {{"policy", "sentinel"}}, {{"t", 10.0}});
+    EXPECT_EQ(log.events(), 2u);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    int n = 0;
+    while (std::getline(lines, line)) {
+        const auto doc = util::parseJson(line);
+        ASSERT_TRUE(doc.isObject()) << line;
+        EXPECT_NE(doc.find("event"), nullptr);
+        ++n;
+    }
+    EXPECT_EQ(n, 2);
+}
+
+} // namespace
+} // namespace flash

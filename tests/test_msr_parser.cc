@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Edge-case tests for the MSR trace parser: real traces are dirty,
+ * and every malformed shape must be rejected (or clamped/wrapped)
+ * deterministically, counted, and never crash the parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "trace/msr_parser.hh"
+
+namespace flash::trace
+{
+namespace
+{
+
+constexpr const char *kGoodLine =
+    "128166372003061629,hm,0,Read,383496192,32768,41116";
+
+TEST(MsrParser, ParsesWellFormedLine)
+{
+    MsrParseStats stats;
+    const auto rec = parseMsrLine(kGoodLine, {}, &stats);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_TRUE(rec->isRead);
+    EXPECT_EQ(rec->offsetBytes, 383496192u);
+    EXPECT_EQ(rec->sizeBytes, 32768u);
+    // 100 ns ticks to microseconds.
+    EXPECT_DOUBLE_EQ(rec->timestampUs, 128166372003061629.0 / 10.0);
+    EXPECT_EQ(stats.parsed, 1u);
+    EXPECT_EQ(stats.malformed, 0u);
+}
+
+TEST(MsrParser, WriteTypeIsCaseInsensitive)
+{
+    for (const char *type : {"Write", "write", "WRITE", "WrItE"}) {
+        const std::string line =
+            std::string("1,host,0,") + type + ",4096,4096,1";
+        const auto rec = parseMsrLine(line);
+        ASSERT_TRUE(rec.has_value()) << type;
+        EXPECT_FALSE(rec->isRead) << type;
+    }
+    const auto rec = parseMsrLine("1,host,0,READ,0,512,1");
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_TRUE(rec->isRead);
+}
+
+TEST(MsrParser, MalformedLinesRejectedNotCrashed)
+{
+    const char *bad[] = {
+        "",                                     // empty
+        ",,,,,,",                               // empty fields
+        "1,host,0,Read,4096,4096",              // six fields
+        "1,host,0,Read,4096,4096,1,extra",      // eight fields
+        "abc,host,0,Read,4096,4096,1",          // non-numeric timestamp
+        "1,host,x,Read,4096,4096,1",            // non-numeric disk
+        "1,host,0,Flush,4096,4096,1",           // unknown type
+        "1,host,0,Read,-4096,4096,1",           // negative offset
+        "1,host,0,Read,4096,-1,1",              // negative size
+        "1,host,0,Read,4096,4096.5,1",          // fractional size
+        "1,host,0,Read,0x1000,4096,1",          // hex offset
+        "1,host,0,Read,99999999999999999999,4096,1", // u64 overflow
+        "1,host,0,,4096,4096,1",                // empty type
+    };
+    MsrParseStats stats;
+    for (const char *line : bad) {
+        EXPECT_FALSE(parseMsrLine(line, {}, &stats).has_value()) << line;
+    }
+    EXPECT_EQ(stats.malformed, std::size(bad));
+    EXPECT_EQ(stats.parsed, 0u);
+}
+
+TEST(MsrParser, ZeroLengthRequestsRejectedAndCounted)
+{
+    MsrParseStats stats;
+    EXPECT_FALSE(
+        parseMsrLine("1,host,0,Read,4096,0,1", {}, &stats).has_value());
+    EXPECT_EQ(stats.zeroSized, 1u);
+    EXPECT_EQ(stats.malformed, 0u);
+}
+
+TEST(MsrParser, UnalignedRequestsPassThroughUntouched)
+{
+    const auto rec = parseMsrLine("1,host,0,Read,513,777,1");
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->offsetBytes, 513u);
+    EXPECT_EQ(rec->sizeBytes, 777u);
+}
+
+TEST(MsrParser, OversizeRequestsClampDeterministically)
+{
+    MsrParseOptions opt;
+    opt.maxSizeBytes = 1u << 20;
+    MsrParseStats stats;
+    const auto rec = parseMsrLine("1,host,0,Read,0,999999999,1", opt,
+                                  &stats);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->sizeBytes, 1u << 20);
+    EXPECT_EQ(stats.clamped, 1u);
+}
+
+TEST(MsrParser, OutOfRangeOffsetsWrapModulo)
+{
+    MsrParseOptions opt;
+    opt.maxOffsetBytes = 1u << 20;
+    MsrParseStats stats;
+    const auto rec = parseMsrLine("1,host,0,Read,1048577,512,1", opt,
+                                  &stats);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->offsetBytes, 1u);
+    EXPECT_EQ(stats.clamped, 1u);
+
+    // In range: untouched.
+    const auto ok = parseMsrLine("1,host,0,Read,1048575,512,1", opt);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->offsetBytes, 1048575u);
+}
+
+TEST(MsrParser, ToleratesCarriageReturns)
+{
+    const auto rec = parseMsrLine("1,host,0,Read,4096,4096,1\r");
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->sizeBytes, 4096u);
+}
+
+TEST(MsrParser, StreamSkipsCommentsAndRebasesTimestamps)
+{
+    std::istringstream in(
+        "# MSR Cambridge hm_0 excerpt\n"
+        "\n"
+        "1000,host,0,Read,0,4096,1\r\n"
+        "garbage line\n"
+        "3000,host,0,Write,4096,4096,1\n"
+        "4000,host,0,Read,8192,0,1\n");
+    MsrParseStats stats;
+    const auto trace = parseMsrTrace(in, {}, &stats);
+    ASSERT_EQ(trace.size(), 2u);
+    // Rebased to the first parsed record.
+    EXPECT_DOUBLE_EQ(trace[0].timestampUs, 0.0);
+    EXPECT_DOUBLE_EQ(trace[1].timestampUs, 200.0); // 2000 ticks
+    EXPECT_TRUE(trace[0].isRead);
+    EXPECT_FALSE(trace[1].isRead);
+    EXPECT_EQ(stats.lines, 4u);
+    EXPECT_EQ(stats.parsed, 2u);
+    EXPECT_EQ(stats.malformed, 1u);
+    EXPECT_EQ(stats.zeroSized, 1u);
+}
+
+TEST(MsrParser, EmptyStreamYieldsEmptyTrace)
+{
+    std::istringstream in("# only comments\n\n");
+    MsrParseStats stats;
+    EXPECT_TRUE(parseMsrTrace(in, {}, &stats).empty());
+    EXPECT_EQ(stats.lines, 0u);
+}
+
+} // namespace
+} // namespace flash::trace

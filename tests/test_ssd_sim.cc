@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "core/read_policy.hh"
 #include "ssd/ssd_sim.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace flash::ssd
@@ -170,6 +174,82 @@ TEST(SsdSim, SustainedWritesTriggerGcEventually)
     }
     const auto rep = sim.run(trace);
     EXPECT_GT(rep.ftl.gcRuns, 0u);
+}
+
+TEST(SsdSim, ReportCarriesMetricsAndSerializes)
+{
+    FixedReadCost cost(4);
+    SsdSim sim(smallConfig(), SsdTiming{}, cost, 1);
+    const auto rep = sim.run(simpleTrace(100, true, 100.0, 4096));
+
+    EXPECT_EQ(rep.metrics.counter("ssd.read.page_ops"), rep.pageReads);
+    const auto *lat = rep.metrics.findHistogram("ssd.read.latency_us");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count(), rep.pageReads);
+    ASSERT_NE(rep.metrics.findHistogram("ssd.read.queue_us"), nullptr);
+    ASSERT_NE(rep.metrics.findHistogram("ssd.read.request_latency_us"),
+              nullptr);
+
+    std::ostringstream os;
+    rep.writeJson(os);
+    const auto doc = util::parseJson(os.str());
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("policy")->string, "fixed");
+    EXPECT_EQ(doc.find("page_reads")->number, 100.0);
+    EXPECT_NE(doc.find("metrics"), nullptr);
+}
+
+TEST(SsdSim, TraceLogRecordsEveryOperation)
+{
+    FixedReadCost cost(4);
+    SsdSim sim(smallConfig(), SsdTiming{}, cost, 1);
+    std::ostringstream out;
+    util::TraceLog log(out);
+    sim.setTraceLog(&log);
+    sim.run(simpleTrace(10, true, 100.0, 4096));
+    // One "read_op" per page plus one "request" per trace record.
+    EXPECT_EQ(log.events(), 20u);
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line))
+        EXPECT_TRUE(util::parseJson(line).isObject()) << line;
+}
+
+TEST(SsdSim, ConstructorRejectsBadOrganization)
+{
+    FixedReadCost cost(4);
+    SsdConfig cfg = smallConfig();
+    cfg.blocksPerPlane = 1; // GC needs a victim and an active block
+    EXPECT_THROW(SsdSim(cfg, SsdTiming{}, cost, 1), util::FatalError);
+
+    cfg = smallConfig();
+    cfg.channels = 0;
+    EXPECT_THROW(SsdSim(cfg, SsdTiming{}, cost, 1), util::FatalError);
+
+    cfg = smallConfig();
+    cfg.overprovision = 0.6;
+    EXPECT_THROW(SsdSim(cfg, SsdTiming{}, cost, 1), util::FatalError);
+}
+
+TEST(SsdSim, ConstructorRejectsBadTiming)
+{
+    FixedReadCost cost(4);
+    SsdTiming t;
+    t.senseUs = 0.0;
+    EXPECT_THROW(SsdSim(smallConfig(), t, cost, 1), util::FatalError);
+
+    t = SsdTiming{};
+    t.programUs = -1.0;
+    EXPECT_THROW(SsdSim(smallConfig(), t, cost, 1), util::FatalError);
+
+    t = SsdTiming{};
+    t.transferUsPerKb = 0.0;
+    EXPECT_THROW(SsdSim(smallConfig(), t, cost, 1), util::FatalError);
+
+    // decodeUs = 0 is legal (an ECC-free device model).
+    t = SsdTiming{};
+    t.decodeUs = 0.0;
+    EXPECT_NO_THROW(SsdSim(smallConfig(), t, cost, 1));
 }
 
 TEST(EmpiricalReadCost, SamplesFromGivenSet)
