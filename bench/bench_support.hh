@@ -93,6 +93,18 @@ stringArg(int argc, char **argv, const std::string &name)
     return "";
 }
 
+/** Presence of a bare `--name` flag. */
+inline bool
+flagArg(int argc, char **argv, const std::string &name)
+{
+    const std::string flag = "--" + name;
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i])
+            return true;
+    }
+    return false;
+}
+
 /** `--metrics-out FILE`: path of the metrics JSON export. */
 inline std::string
 metricsOutArg(int argc, char **argv)

@@ -64,24 +64,41 @@ ReadContext::ReadContext(const nand::Chip &chip, int block, int wl,
                   "ReadContext: page out of range");
 }
 
+const nand::WordlineVthView &
+ReadContext::dataView()
+{
+    if (!dataView_) {
+        dataView_.emplace(
+            nand::WordlineVthView::dataRegion(*chip_, block_, wl_));
+    }
+    return *dataView_;
+}
+
+const nand::WordlineVthView &
+ReadContext::sentView()
+{
+    util::fatalIf(!overlay_, "ReadContext: no sentinel overlay");
+    if (!sentView_) {
+        sentView_.emplace(nand::WordlineVthView(
+            *chip_, block_, wl_, overlay_->start,
+            overlay_->start + overlay_->count));
+    }
+    return *sentView_;
+}
+
 const nand::WordlineSnapshot &
 ReadContext::dataSnap()
 {
-    if (!data_) {
-        data_.emplace(nand::WordlineSnapshot::dataRegion(
-            *chip_, block_, wl_, seq_.next()));
-    }
+    if (!data_)
+        data_.emplace(dataView(), seq_.next());
     return *data_;
 }
 
 const nand::WordlineSnapshot &
 ReadContext::sentSnap()
 {
-    util::fatalIf(!overlay_, "ReadContext: no sentinel overlay");
-    if (!sent_) {
-        sent_.emplace(sentinelSnapshot(*chip_, block_, wl_, *overlay_,
-                                       seq_.next()));
-    }
+    if (!sent_)
+        sent_.emplace(sentView(), seq_.next());
     return *sent_;
 }
 
@@ -259,6 +276,24 @@ ReadSessionResult
 SentinelPolicy::read(ReadContext &ctx) const
 {
     ReadSessionResult session;
+
+    // Cache-seeded fast path: the block's last successful sentinel
+    // offset, valid only under the aging epoch it was inferred in. A
+    // decode at the seeded voltages costs one attempt and no assist
+    // read. Exactly one lookup per session, so the cache's hit + miss
+    // + stale counters sum to the policy's session count.
+    BlockEpoch epoch;
+    std::optional<int> seeded;
+    if (cache_) {
+        epoch = epochOf(ctx.chip().blockAge(ctx.block()));
+        seeded = cache_->lookup(ctx.block(), epoch);
+        if (seeded && attempt(ctx, engine_.inferAt(*seeded).voltages,
+                              session)) {
+            cache_->store(ctx.block(), epoch, *seeded);
+            return session;
+        }
+    }
+
     const std::vector<int> &first =
         firstRead_.empty() ? engine_.defaults() : firstRead_;
     if (attempt(ctx, first, session))
@@ -288,8 +323,11 @@ SentinelPolicy::read(ReadContext &ctx) const
     const double d =
         countSentinelErrors(ctx.sentSnap(), k_s, v_s_default).dRate();
     InferredVoltages inferred = engine_.infer(d);
-    if (attempt(ctx, inferred.voltages, session))
+    if (attempt(ctx, inferred.voltages, session)) {
+        if (cache_)
+            cache_->store(ctx.block(), epoch, inferred.sentinelOffset);
         return session;
+    }
 
     // Calibration loop: state-change comparison decides the step
     // direction; each step re-derives the other voltages. Once the
@@ -322,8 +360,11 @@ SentinelPolicy::read(ReadContext &ctx) const
             const int step = (probe + 1) / 2;
             try_offset += (probe % 2 ? 1 : -1) * step * calibration_.delta;
         }
-        if (attempt(ctx, engine_.inferAt(try_offset).voltages, session))
+        if (attempt(ctx, engine_.inferAt(try_offset).voltages, session)) {
+            if (cache_)
+                cache_->store(ctx.block(), epoch, try_offset);
             return session;
+        }
     }
     return session;
 }

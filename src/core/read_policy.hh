@@ -21,11 +21,13 @@
 #include "core/calibration.hh"
 #include "core/characterization.hh"
 #include "core/inference.hh"
+#include "core/voltage_cache.hh"
 #include "ecc/ecc_model.hh"
 #include "nandsim/chip.hh"
 #include "nandsim/oracle.hh"
 #include "nandsim/read_seq.hh"
 #include "nandsim/snapshot.hh"
+#include "nandsim/vth_view.hh"
 #include "util/metrics.hh"
 
 namespace flash::core
@@ -98,11 +100,16 @@ void recordSession(util::MetricsRegistry &metrics,
                    const ReadSessionResult &session, double latency_us);
 
 /**
- * Shared state of one read session: lazily-built snapshots and the
- * decodability oracle against the ECC model. One data snapshot is
- * reused across the session's attempts (retries only re-tune
- * voltages; fresh sensing noise across retries is a second-order
- * effect the paper also neglects).
+ * Shared state of one read session: lazily-built Vth views and
+ * snapshots plus the decodability oracle against the ECC model. One
+ * data snapshot is reused across the session's attempts (retries only
+ * re-tune voltages; fresh sensing noise across retries is a
+ * second-order effect the paper also neglects).
+ *
+ * The views batch the static (noise-free) per-cell state of the
+ * session's wordline ranges: computed once, shared by the snapshots
+ * (which only add one per-session noise sense) and by any packed
+ * kernel that needs exact bits.
  *
  * Read sequencing is caller-owned: sensing-noise seeds derive from
  * the clock's stream and this context's (block, wordline, read
@@ -116,6 +123,12 @@ class ReadContext
                 const ecc::EccModel &ecc_model,
                 std::optional<nand::SentinelOverlay> overlay,
                 nand::ReadClock clock = nand::ReadClock());
+
+    /** Lazily-built data-region Vth view (consumes no read seq). */
+    const nand::WordlineVthView &dataView();
+
+    /** Lazily-built sentinel-range Vth view (requires an overlay). */
+    const nand::WordlineVthView &sentView();
 
     /** Lazily-built data-region snapshot. */
     const nand::WordlineSnapshot &dataSnap();
@@ -148,6 +161,8 @@ class ReadContext
     const ecc::EccModel *ecc_;
     std::optional<nand::SentinelOverlay> overlay_;
     nand::ReadSeq seq_;
+    std::optional<nand::WordlineVthView> dataView_;
+    std::optional<nand::WordlineVthView> sentView_;
     std::optional<nand::WordlineSnapshot> data_;
     std::optional<nand::WordlineSnapshot> sent_;
 };
@@ -286,7 +301,11 @@ class SentinelPolicy : public ReadPolicy
                    std::vector<int> defaults,
                    CalibrationParams calibration = {}, int max_retries = 10);
 
-    std::string name() const override { return "sentinel"; }
+    std::string
+    name() const override
+    {
+        return cache_ ? "sentinel+cache" : "sentinel";
+    }
     ReadSessionResult read(ReadContext &ctx) const override;
 
     /** Inference engine (exposed for the experiment harnesses). */
@@ -300,11 +319,29 @@ class SentinelPolicy : public ReadPolicy
      */
     void setFirstReadVoltages(std::vector<int> voltages);
 
+    /**
+     * Attach a per-block inferred-voltage cache (nullptr detaches).
+     * With a cache, every session first looks up the block's last
+     * successful sentinel offset under its current aging epoch and, on
+     * a hit, tries the voltages inferred from it before the default
+     * read — a decode there skips the sentinel assist read entirely.
+     * Offsets are stored back whenever a session succeeds past the
+     * default read. The cache makes sessions depend on which reads ran
+     * before them, so deterministic harnesses attach one only to
+     * serial runs; without attachCache() behaviour is bit-identical to
+     * the cacheless policy.
+     */
+    void attachCache(VoltageCache *cache) { cache_ = cache; }
+
+    /** Attached cache (nullptr when none). */
+    VoltageCache *cache() const { return cache_; }
+
   private:
     InferenceEngine engine_;
     CalibrationParams calibration_;
     int maxRetries_;
     std::vector<int> firstRead_;
+    VoltageCache *cache_ = nullptr;
 };
 
 } // namespace flash::core

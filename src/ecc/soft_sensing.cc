@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nandsim/vth_view.hh"
+#include "util/bitplane.hh"
 #include "util/logging.hh"
 
 namespace flash::ecc
@@ -68,14 +70,19 @@ softReadRange(const nand::Chip &chip, int block, int wl, int page,
     const int extra = ops - 1;
     const int half = extra / 2;
 
-    SoftReadResult out;
+    // One materialization of the range's static Vth; every sense of
+    // the 3 (2-bit) or 7 (3-bit) only adds noise and packs bits.
+    const nand::WordlineVthView view(chip, block, wl, col_begin, col_end);
 
     // Center sense first.
-    chip.readBits(block, wl, page, voltages, read_seq_base, col_begin,
-                  col_end, out.hardBits);
+    const util::Bitplane hard =
+        view.packBits(page, voltages, view.senseDac(read_seq_base));
 
-    std::vector<int> agreement(out.hardBits.size(), 0);
-    std::vector<std::uint8_t> bits;
+    // Packed agreement: each extra sense contributes one plane of
+    // cells matching the center decision; a bit-sliced counter
+    // accumulates them word-at-a-time (extra <= 6 < 8, so the 3-bit
+    // counters never saturate).
+    util::SlicedCounter3 agreement(hard.size());
     int seq = 1;
     for (int s = -half; s <= half; ++s) {
         if (s == 0)
@@ -84,16 +91,28 @@ softReadRange(const nand::Chip &chip, int block, int wl, int page,
         const int off = static_cast<int>(std::lround(s * delta_dac));
         for (std::size_t k = 1; k < shifted.size(); ++k)
             shifted[k] += off;
-        chip.readBits(block, wl, page, shifted,
-                      read_seq_base + static_cast<std::uint64_t>(seq++),
-                      col_begin, col_end, bits);
-        for (std::size_t i = 0; i < bits.size(); ++i)
-            agreement[i] += bits[i] == out.hardBits[i];
+        util::Bitplane match = view.packBits(
+            page, shifted,
+            view.senseDac(read_seq_base
+                          + static_cast<std::uint64_t>(seq++)));
+        match ^= hard;
+        match.flip(); // one where the shifted sense agrees with center
+        agreement.add(match);
     }
 
-    out.llr.resize(out.hardBits.size());
-    for (std::size_t i = 0; i < out.hardBits.size(); ++i) {
-        const float mag = llrMagnitude(mode, agreement[i], extra);
+    SoftReadResult out;
+    out.hardBits.resize(hard.size());
+    out.llr.resize(hard.size());
+    hard.expand(out.hardBits.data());
+    std::vector<std::uint8_t> agree(hard.size());
+    agreement.expand(agree.data());
+    // Agreement counts take 8 values; map them through a tiny table
+    // instead of recomputing the LLR magnitude per cell.
+    float mags[8];
+    for (int a = 0; a < 8; ++a)
+        mags[a] = llrMagnitude(mode, a, extra);
+    for (std::size_t i = 0; i < hard.size(); ++i) {
+        const float mag = mags[agree[i]];
         out.llr[i] = out.hardBits[i] ? -mag : mag;
     }
     return out;

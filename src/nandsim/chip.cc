@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nandsim/vth_view.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -176,6 +177,20 @@ Chip::trueState(int block, int wl, int col) const
     return stateOf(c, col, geom_.states());
 }
 
+void
+Chip::trueStates(int block, int wl, int col_begin, int col_end,
+                 std::vector<std::uint8_t> &states_out) const
+{
+    const auto &c = content(block, wl);
+    util::fatalIf(col_begin < 0 || col_end > geom_.bitlines()
+                      || col_begin > col_end,
+                  "chip: bad column range");
+    states_out.clear();
+    states_out.reserve(static_cast<std::size_t>(col_end - col_begin));
+    for (int col = col_begin; col < col_end; ++col)
+        states_out.push_back(stateOf(c, col, geom_.states()));
+}
+
 WordlineContext
 Chip::wordlineContext(int block, int wl) const
 {
@@ -210,8 +225,8 @@ Chip::wordlineContext(int block, int wl) const
 }
 
 double
-Chip::cellVth(const WordlineContext &ctx, int block, int wl, int col,
-              int state, std::uint64_t read_seq) const
+Chip::staticCellVth(const WordlineContext &ctx, int block, int wl, int col,
+                    int state) const
 {
     const std::uint64_t zh = util::fastHash(
         seed_ ^ kSaltCellZ, static_cast<std::uint64_t>(block),
@@ -224,17 +239,32 @@ Chip::cellVth(const WordlineContext &ctx, int block, int wl, int col,
         static_cast<double>(col) / static_cast<double>(geom_.bitlines() - 1)
         - 0.5;
     const auto si = static_cast<std::size_t>(state);
-    double vth = (tail ? ctx.tailMean[si] : ctx.mean[si])
+    return (tail ? ctx.tailMean[si] : ctx.mean[si])
         + (tail ? ctx.tailSigma[si] : ctx.sigma[si]) * z
         + ctx.gradient * frac;
-    if (ctx.readNoiseSigma > 0.0) {
-        vth += ctx.readNoiseSigma
-            * util::toGaussian(util::fastHash(
-                seed_ ^ kSaltReadNoise, read_seq,
-                static_cast<std::uint64_t>(block),
-                static_cast<std::uint64_t>(wl),
-                static_cast<std::uint64_t>(col)));
-    }
+}
+
+double
+Chip::readNoise(const WordlineContext &ctx, int block, int wl, int col,
+                std::uint64_t read_seq) const
+{
+    if (ctx.readNoiseSigma <= 0.0)
+        return 0.0;
+    return ctx.readNoiseSigma
+        * util::toGaussian(util::fastHash(
+            seed_ ^ kSaltReadNoise, read_seq,
+            static_cast<std::uint64_t>(block),
+            static_cast<std::uint64_t>(wl),
+            static_cast<std::uint64_t>(col)));
+}
+
+double
+Chip::cellVth(const WordlineContext &ctx, int block, int wl, int col,
+              int state, std::uint64_t read_seq) const
+{
+    double vth = staticCellVth(ctx, block, wl, col, state);
+    if (ctx.readNoiseSigma > 0.0)
+        vth += readNoise(ctx, block, wl, col, read_seq);
     return vth;
 }
 
@@ -250,16 +280,17 @@ Chip::readPage(int block, int wl, int page,
                const std::vector<int> &voltages,
                std::uint64_t read_seq) const
 {
-    PageReadResult r;
-    std::vector<std::uint8_t> bits;
-    readBits(block, wl, page, voltages, read_seq, 0, geom_.dataBitlines,
-             bits);
-    std::vector<std::uint8_t> truth;
-    trueBits(block, wl, page, 0, geom_.dataBitlines, truth);
-    r.bits = bits.size();
-    for (std::size_t i = 0; i < bits.size(); ++i)
-        r.bitErrors += bits[i] != truth[i];
-    return r;
+    checkAddress(block, wl);
+    util::fatalIf(page < 0 || page >= geom_.pagesPerWordline(),
+                  "chip: page out of range");
+    util::fatalIf(static_cast<int>(voltages.size()) < geom_.states(),
+                  "chip: voltage vector must be indexed 1..boundaries");
+    // One WordlineContext and one content/hash pass for the whole
+    // read (the old path walked the cells twice, byte per bit, and
+    // re-derived the context on every call); the error count is a
+    // packed XOR/popcount against the true bitplane.
+    const WordlineVthView view(*this, block, wl, 0, geom_.dataBitlines);
+    return view.pageRead(page, voltages, read_seq);
 }
 
 void

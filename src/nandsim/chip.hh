@@ -176,6 +176,13 @@ class Chip
     /** True programmed state of a cell. */
     std::uint8_t trueState(int block, int wl, int col) const;
 
+    /**
+     * True states of a column range in one pass (the batched form of
+     * trueState(); used by WordlineVthView).
+     */
+    void trueStates(int block, int wl, int col_begin, int col_end,
+                    std::vector<std::uint8_t> &states_out) const;
+
     /// @}
     /// @name Sensing
     /// @{
@@ -193,6 +200,19 @@ class Chip
     /** Cell's static Vth given a precomputed context (fast path). */
     double cellVth(const WordlineContext &ctx, int block, int wl, int col,
                    int state, std::uint64_t read_seq) const;
+
+    /**
+     * Read-independent part of cellVth(): the state draw, heavy-tail
+     * selection and spatial gradient, without the per-read noise.
+     * cellVth() == staticCellVth() + readNoise() exactly; batching
+     * this part once per session is what WordlineVthView does.
+     */
+    double staticCellVth(const WordlineContext &ctx, int block, int wl,
+                         int col, int state) const;
+
+    /** Per-read noise term of cellVth() (0 when the model has none). */
+    double readNoise(const WordlineContext &ctx, int block, int wl, int col,
+                     std::uint64_t read_seq) const;
 
     /**
      * Exact page read: applies the page's read voltages (indexed by

@@ -35,6 +35,25 @@ WordlineSnapshot::WordlineSnapshot(const Chip &chip, int block, int wl,
     }
 }
 
+WordlineSnapshot::WordlineSnapshot(const WordlineVthView &view,
+                                   std::uint64_t read_seq)
+    : code_(&view.chip().grayCode())
+{
+    const Chip &chip = view.chip();
+    const int lo = chip.model().vthMin();
+    const int hi = chip.model().vthMax();
+    const int states = chip.geometry().states();
+    hist_.reserve(static_cast<std::size_t>(states));
+    for (int s = 0; s < states; ++s)
+        hist_.emplace_back(lo, hi);
+
+    const std::vector<int> dac = view.senseDac(read_seq);
+    for (std::size_t i = 0; i < dac.size(); ++i) {
+        hist_[static_cast<std::size_t>(view.state(i))].add(dac[i]);
+        ++cells_;
+    }
+}
+
 WordlineSnapshot
 WordlineSnapshot::dataRegion(const Chip &chip, int block, int wl,
                              std::uint64_t read_seq)

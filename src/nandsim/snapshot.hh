@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "nandsim/chip.hh"
+#include "nandsim/vth_view.hh"
 #include "util/histogram.hh"
 
 namespace flash::nand
@@ -35,6 +36,14 @@ class WordlineSnapshot
      */
     WordlineSnapshot(const Chip &chip, int block, int wl,
                      std::uint64_t read_seq, int col_begin, int col_end);
+
+    /**
+     * Build the histograms from an already-materialized Vth view,
+     * adding only the per-read noise of @p read_seq. Bit-identical to
+     * the direct constructor over the same column range — the view
+     * just skips re-deriving the per-cell static hashes.
+     */
+    WordlineSnapshot(const WordlineVthView &view, std::uint64_t read_seq);
 
     /** Snapshot of the user-data region only. */
     static WordlineSnapshot dataRegion(const Chip &chip, int block, int wl,

@@ -37,6 +37,15 @@ EmpiricalReadCost::meanRetries() const
     return acc / static_cast<double>(samples_.size());
 }
 
+double
+EmpiricalReadCost::meanAssistReads() const
+{
+    double acc = 0.0;
+    for (const auto &s : samples_)
+        acc += s.assistReads;
+    return acc / static_cast<double>(samples_.size());
+}
+
 EmpiricalReadCost
 measureReadCost(const nand::Chip &chip, int block,
                 const core::ReadPolicy &policy,

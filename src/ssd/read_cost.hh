@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/evaluator.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 
 namespace flash::ssd
@@ -41,6 +42,13 @@ class ReadCostSource
 
     /** Cost of the next page read. */
     virtual ReadCost sample(util::Rng &rng) = 0;
+
+    /**
+     * Merge any counters the cost source carries (e.g. the voltage
+     * cache statistics of the measurement run behind an empirical
+     * distribution) into a run's report metrics. Default: none.
+     */
+    virtual void appendMetrics(util::MetricsRegistry &) const {}
 };
 
 /** Fixed cost: every read succeeds first try (fresh-chip behaviour). */
@@ -73,9 +81,28 @@ class EmpiricalReadCost : public ReadCostSource
     /** Mean retries per read. */
     double meanRetries() const;
 
+    /** Mean assist reads per read. */
+    double meanAssistReads() const;
+
+    /**
+     * Counters describing how the distribution was measured (e.g.
+     * cache.* statistics when the measurement policy ran with a
+     * voltage cache); merged into every SsdSim report that samples
+     * this source. Empty by default, so reports gain no keys unless
+     * the measurement explicitly recorded some.
+     */
+    util::MetricsRegistry &extraMetrics() { return extra_; }
+
+    void
+    appendMetrics(util::MetricsRegistry &metrics) const override
+    {
+        metrics.merge(extra_);
+    }
+
   private:
     std::string name_;
     std::vector<ReadCost> samples_;
+    util::MetricsRegistry extra_;
 };
 
 /**

@@ -220,6 +220,7 @@ SsdSim::run(const std::vector<trace::TraceRecord> &trace)
     report.ftl = ftl_.stats();
     report.metrics = std::move(metrics_);
     metrics_ = util::MetricsRegistry();
+    readCost_->appendMetrics(report.metrics);
     return report;
 }
 
