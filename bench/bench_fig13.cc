@@ -12,6 +12,8 @@
 #include "core/policy_metrics.hh"
 #include "core/read_policy.hh"
 #include "ecc/ecc_model.hh"
+#include "ssd/health_monitor.hh"
+#include "util/span_trace.hh"
 
 using namespace flash;
 
@@ -21,6 +23,8 @@ main(int argc, char **argv)
     const int threads = bench::threadsArg(argc, argv);
     const std::string metrics_out = bench::metricsOutArg(argc, argv);
     const std::string trace_out = bench::traceOutArg(argc, argv);
+    const std::string trace_spans = bench::traceSpansArg(argc, argv);
+    const std::string health_out = bench::healthOutArg(argc, argv);
     bench::header("Figure 13",
                   "read retries per wordline, current flash vs sentinel "
                   "(TLC, P/E 5000 + 1 y, MSB page)",
@@ -32,6 +36,27 @@ main(int argc, char **argv)
     const auto overlay =
         core::makeOverlay(chip.geometry(), core::SentinelConfig{});
     chip.programBlock(bench::kEvalBlock, bench::kChipSeed ^ 0x13, overlay);
+
+    // Health probes walk the block through retention checkpoints; the
+    // closing ageBlock() below re-ages it to the figure's exact state
+    // (refresh() clears retention), so the results are unchanged.
+    if (!health_out.empty()) {
+        std::ofstream health_file(health_out);
+        util::fatalIf(!health_file,
+                      "health-out: cannot open " + health_out);
+        ssd::HealthMonitorOptions hopt;
+        hopt.wlStride = 8;
+        ssd::HealthMonitor health(health_file, hopt);
+        health.beginRun("fig13-tlc-pe5000");
+        for (const double hours : {0.0, 24.0, 720.0, bench::kOneYearHours}) {
+            bench::ageBlock(chip, bench::kEvalBlock, 5000, hours);
+            health.probeBlock(chip, bench::kEvalBlock, &tables, overlay,
+                              hours * 3.6e9);
+        }
+        util::inform("health: wrote "
+                     + std::to_string(health.records())
+                     + " chip probes to " + health_out);
+    }
     bench::ageBlock(chip, bench::kEvalBlock, 5000);
 
     const ecc::EccModel ecc_model(ecc::EccConfig{16384, 145});
@@ -47,13 +72,32 @@ main(int argc, char **argv)
         util::fatalIf(!trace_file, "trace-out: cannot open " + trace_out);
         trace_log = std::make_unique<util::TraceLog>(trace_file);
     }
+    std::unique_ptr<util::SpanTrace> span_trace;
+    if (!trace_spans.empty()) {
+        const std::size_t cap = bench::spanCapacityArg(argc, argv);
+        span_trace = std::make_unique<util::SpanTrace>(
+            cap ? cap : util::SpanTrace::kDefaultCapacity);
+    }
 
     const auto vs = core::evaluateBlock(chip, bench::kEvalBlock, vendor,
                                         ecc_model, overlay, lat, -1, 1,
-                                        threads, 0, trace_log.get());
+                                        threads, 0, trace_log.get(),
+                                        span_trace.get());
     const auto ss = core::evaluateBlock(chip, bench::kEvalBlock, sentinel,
                                         ecc_model, overlay, lat, -1, 1,
-                                        threads, 0, trace_log.get());
+                                        threads, 0, trace_log.get(),
+                                        span_trace.get());
+
+    if (span_trace) {
+        std::ofstream spans_file(trace_spans);
+        util::fatalIf(!spans_file,
+                      "trace-spans: cannot open " + trace_spans);
+        span_trace->writeJsonLines(spans_file);
+        util::inform("spans: wrote "
+                     + std::to_string(span_trace->spans()) + " spans ("
+                     + std::to_string(span_trace->droppedSpans())
+                     + " dropped) to " + trace_spans);
+    }
 
     if (!metrics_out.empty()) {
         core::savePolicyMetricsJson(metrics_out,

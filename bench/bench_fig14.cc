@@ -14,8 +14,10 @@
 #include "bench_support.hh"
 #include "core/read_policy.hh"
 #include "core/voltage_cache.hh"
+#include "ssd/health_monitor.hh"
 #include "ssd/ssd_sim.hh"
 #include "trace/msr_workloads.hh"
+#include "util/span_trace.hh"
 
 using namespace flash;
 
@@ -25,6 +27,9 @@ main(int argc, char **argv)
     const int threads = bench::threadsArg(argc, argv);
     const std::string metrics_out = bench::metricsOutArg(argc, argv);
     const std::string trace_out = bench::traceOutArg(argc, argv);
+    const std::string trace_spans = bench::traceSpansArg(argc, argv);
+    const std::string health_out = bench::healthOutArg(argc, argv);
+    const double health_interval = bench::healthIntervalArg(argc, argv);
     const bool use_cache = bench::flagArg(argc, argv, "voltage-cache");
     bench::header("Figure 14",
                   "SSD-level read latency reduction on 8 MSR-like traces",
@@ -55,10 +60,12 @@ main(int argc, char **argv)
 
     // --voltage-cache: a third cost source measured with a per-block
     // inferred-voltage cache attached. Cached sessions depend on the
-    // reads that ran before them, so the measurement is serial.
+    // reads that ran before them, so the measurement is serial. The
+    // cache outlives the measurement so --health-out can report its
+    // hit/stale rates.
+    core::VoltageCache cache;
     std::optional<ssd::EmpiricalReadCost> ccost;
     if (use_cache) {
-        core::VoltageCache cache;
         core::SentinelPolicy cached(tables, chip.model().defaultVoltages());
         cached.attachCache(&cache);
         ccost = ssd::measureReadCost(chip, bench::kEvalBlock, cached,
@@ -107,6 +114,28 @@ main(int argc, char **argv)
         util::fatalIf(!trace_file, "trace-out: cannot open " + trace_out);
         trace_log = std::make_unique<util::TraceLog>(trace_file);
     }
+    std::unique_ptr<util::SpanTrace> span_trace;
+    if (!trace_spans.empty()) {
+        const std::size_t cap = bench::spanCapacityArg(argc, argv);
+        span_trace = std::make_unique<util::SpanTrace>(
+            cap ? cap : util::SpanTrace::kDefaultCapacity);
+    }
+    std::ofstream health_file;
+    std::unique_ptr<ssd::HealthMonitor> health;
+    if (!health_out.empty()) {
+        health_file.open(health_out);
+        util::fatalIf(!health_file,
+                      "health-out: cannot open " + health_out);
+        ssd::HealthMonitorOptions hopt;
+        if (health_interval > 0.0)
+            hopt.intervalUs = health_interval;
+        hopt.wlStride = 8;
+        health = std::make_unique<ssd::HealthMonitor>(health_file, hopt);
+        if (use_cache)
+            health->attachCache(&cache);
+        health->beginRun("fig14-chip");
+        health->probeBlock(chip, bench::kEvalBlock, &tables, overlay, 0.0);
+    }
 
     double sum = 0.0;
     int n = 0;
@@ -119,14 +148,26 @@ main(int argc, char **argv)
             trace_log->event("workload", {{"name", w.name}}, {});
         ssd::SsdSim sim_v(cfg, timing, vcost, 1);
         sim_v.setTraceLog(trace_log.get());
+        sim_v.setSpanTrace(span_trace.get());
+        sim_v.setHealthMonitor(health.get());
+        if (health)
+            health->beginRun(w.name + "." + vcost.name());
         const auto rv = sim_v.run(tr);
         ssd::SsdSim sim_s(cfg, timing, scost, 1);
         sim_s.setTraceLog(trace_log.get());
+        sim_s.setSpanTrace(span_trace.get());
+        sim_s.setHealthMonitor(health.get());
+        if (health)
+            health->beginRun(w.name + "." + scost.name());
         const auto rs = sim_s.run(tr);
         std::optional<ssd::SimReport> rc;
         if (ccost) {
             ssd::SsdSim sim_c(cfg, timing, *ccost, 1);
             sim_c.setTraceLog(trace_log.get());
+            sim_c.setSpanTrace(span_trace.get());
+            sim_c.setHealthMonitor(health.get());
+            if (health)
+                health->beginRun(w.name + "." + ccost->name());
             rc = sim_c.run(tr);
         }
 
@@ -170,6 +211,21 @@ main(int argc, char **argv)
     if (metrics_file.is_open()) {
         metrics_file << "}}\n";
         util::inform("metrics written to " + metrics_out);
+    }
+    if (span_trace) {
+        std::ofstream spans_file(trace_spans);
+        util::fatalIf(!spans_file,
+                      "trace-spans: cannot open " + trace_spans);
+        span_trace->writeJsonLines(spans_file);
+        util::inform("spans: wrote "
+                     + std::to_string(span_trace->spans()) + " spans ("
+                     + std::to_string(span_trace->droppedSpans())
+                     + " dropped) to " + trace_spans);
+    }
+    if (health) {
+        util::inform("health: wrote "
+                     + std::to_string(health->records()) + " records to "
+                     + health_out);
     }
 
     table.print(std::cout);

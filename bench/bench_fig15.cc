@@ -6,9 +6,11 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 
 #include "bench_support.hh"
 #include "core/policy_metrics.hh"
+#include "ssd/health_monitor.hh"
 
 using namespace flash;
 
@@ -17,6 +19,7 @@ main(int argc, char **argv)
 {
     const int threads = bench::threadsArg(argc, argv);
     const std::string metrics_out = bench::metricsOutArg(argc, argv);
+    const std::string health_out = bench::healthOutArg(argc, argv);
     bench::header("Figure 15",
                   "% wordlines achieving the optimal voltage after "
                   "inference / calibration (QLC, P/E 3000 + 1 y)",
@@ -27,6 +30,28 @@ main(int argc, char **argv)
     const auto overlay =
         core::makeOverlay(chip.geometry(), core::SentinelConfig{});
     chip.programBlock(bench::kEvalBlock, bench::kChipSeed ^ 0x15, overlay);
+
+    // Health probes chart per-layer offset drift across retention
+    // checkpoints; the closing ageBlock() restores the figure's exact
+    // aging state (refresh() clears retention), so results are
+    // unchanged.
+    if (!health_out.empty()) {
+        std::ofstream health_file(health_out);
+        util::fatalIf(!health_file,
+                      "health-out: cannot open " + health_out);
+        ssd::HealthMonitorOptions hopt;
+        hopt.wlStride = 48;
+        ssd::HealthMonitor health(health_file, hopt);
+        health.beginRun("fig15-qlc-pe3000");
+        for (const double hours : {0.0, 24.0, 720.0, bench::kOneYearHours}) {
+            bench::ageBlock(chip, bench::kEvalBlock, 3000, hours);
+            health.probeBlock(chip, bench::kEvalBlock, &tables, overlay,
+                              hours * 3.6e9);
+        }
+        util::inform("health: wrote "
+                     + std::to_string(health.records())
+                     + " chip probes to " + health_out);
+    }
     bench::ageBlock(chip, bench::kEvalBlock, 3000);
 
     const auto accs = core::evaluateBlockAccuracy(

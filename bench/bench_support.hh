@@ -119,6 +119,47 @@ traceOutArg(int argc, char **argv)
     return stringArg(argc, argv, "trace-out");
 }
 
+/** `--trace-spans FILE`: path of the causal span trace. */
+inline std::string
+traceSpansArg(int argc, char **argv)
+{
+    return stringArg(argc, argv, "trace-spans");
+}
+
+/** `--span-capacity N`: span-sink capacity (0 keeps the default). */
+inline std::size_t
+spanCapacityArg(int argc, char **argv)
+{
+    const std::string v = stringArg(argc, argv, "span-capacity");
+    if (v.empty())
+        return 0;
+    const long n = std::atol(v.c_str());
+    util::fatalIf(n < 1, "--span-capacity: bad capacity");
+    return static_cast<std::size_t>(n);
+}
+
+/** `--health-out FILE`: path of the health JSON-lines time series. */
+inline std::string
+healthOutArg(int argc, char **argv)
+{
+    return stringArg(argc, argv, "health-out");
+}
+
+/**
+ * `--health-interval US`: simulated microseconds between SSD health
+ * snapshots (0 when absent; callers fall back to their default).
+ */
+inline double
+healthIntervalArg(int argc, char **argv)
+{
+    const std::string v = stringArg(argc, argv, "health-interval");
+    if (v.empty())
+        return 0.0;
+    const double us = std::atof(v.c_str());
+    util::fatalIf(us <= 0.0, "--health-interval: bad interval");
+    return us;
+}
+
 /** Factory characterization with a bench-friendly sample budget. */
 inline core::Characterization
 characterize(nand::Chip &chip, int wl_stride, int threads = 1)

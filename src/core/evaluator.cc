@@ -1,5 +1,7 @@
 #include "core/evaluator.hh"
 
+#include <cstring>
+
 #include "core/error_difference.hh"
 #include "nandsim/oracle.hh"
 #include "util/logging.hh"
@@ -23,6 +25,37 @@ sampledWordlines(const nand::Chip &chip, int wl_stride)
     return wls;
 }
 
+/**
+ * Assign the session's spans a virtual timeline from the latency
+ * model: children laid end-to-end from @p session_start in recording
+ * (causal) order, a trailing "xfer" child for the page transfer, and
+ * the root pinned to @p latency_us — the exact sessionLatencyUs value
+ * the metrics accumulate, so per-class critical-path totals computed
+ * from root spans match the metrics bit-exactly (the children's sum
+ * only agrees to rounding, their additions group differently).
+ */
+void
+timeSessionSpans(util::SpanBuffer &sb, const LatencyParams &latency,
+                 double session_start, double latency_us)
+{
+    double t = session_start;
+    for (int s = 1; s < sb.size(); ++s) {
+        const util::SpanRec &rec = sb.rec(s);
+        double dur = 0.0;
+        if (std::strcmp(rec.cls, "attempt") == 0) {
+            dur = latency.baseUs + latency.decodeUs
+                + sb.numAttr(s, "sense_ops") * latency.senseUs;
+        } else if (std::strcmp(rec.cls, "assist_read") == 0) {
+            dur = latency.baseUs + latency.senseUs;
+        }
+        sb.time(s, t, dur);
+        t += dur;
+    }
+    const int xfer = sb.begin("xfer", 0);
+    sb.time(xfer, t, latency.transferUs);
+    sb.time(0, session_start, latency_us);
+}
+
 } // namespace
 
 PolicyBlockStats
@@ -31,7 +64,7 @@ evaluateBlock(const nand::Chip &chip, int block, const ReadPolicy &policy,
               const std::optional<nand::SentinelOverlay> &overlay,
               const LatencyParams &latency, int page, int wl_stride,
               int threads, std::uint64_t read_stream,
-              util::TraceLog *trace)
+              util::TraceLog *trace, util::SpanTrace *spans)
 {
     util::fatalIf(wl_stride < 1, "evaluateBlock: bad stride");
     util::fatalIf(threads < 1, "evaluateBlock: bad thread count");
@@ -45,15 +78,21 @@ evaluateBlock(const nand::Chip &chip, int block, const ReadPolicy &policy,
     // floating-point reduction below stays sequential in wordline
     // order so the statistics are bit-identical at any thread count.
     std::vector<ReadSessionResult> sessions(wls.size());
+    std::vector<util::SpanBuffer> bufs(spans ? wls.size() : 0);
     util::parallelFor(
         threads, static_cast<int>(wls.size()), [&](int i) {
             ReadContext ctx(chip, block,
                             wls[static_cast<std::size_t>(i)], target_page,
                             ecc_model, overlay, clock);
+            if (spans) {
+                util::SpanBuffer &sb = bufs[static_cast<std::size_t>(i)];
+                ctx.setSpanBuffer(&sb, sb.begin("read_session"));
+            }
             sessions[static_cast<std::size_t>(i)] = policy.read(ctx);
         });
 
     PolicyBlockStats stats;
+    double span_cursor = 0.0;
     for (std::size_t i = 0; i < sessions.size(); ++i) {
         const ReadSessionResult &session = sessions[i];
         const double latency_us = sessionLatencyUs(session, latency);
@@ -76,6 +115,20 @@ evaluateBlock(const nand::Chip &chip, int block, const ReadPolicy &policy,
                   static_cast<double>(session.assistReads)},
                  {"success", session.success ? 1.0 : 0.0},
                  {"latency_us", latency_us}});
+        }
+        if (spans) {
+            util::SpanBuffer &sb = bufs[i];
+            sb.str(0, "policy", policy.name());
+            sb.num(0, "wordline", static_cast<double>(wls[i]));
+            sb.num(0, "page", static_cast<double>(target_page));
+            sb.num(0, "attempts", static_cast<double>(session.attempts));
+            sb.num(0, "assist_reads",
+                   static_cast<double>(session.assistReads));
+            sb.num(0, "sense_ops", static_cast<double>(session.senseOps));
+            sb.num(0, "success", session.success ? 1.0 : 0.0);
+            timeSessionSpans(sb, latency, span_cursor, latency_us);
+            spans->emit(sb);
+            span_cursor += latency_us;
         }
     }
     return stats;

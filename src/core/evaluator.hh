@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/read_policy.hh"
+#include "util/span_trace.hh"
 #include "util/stats.hh"
 #include "util/trace_log.hh"
 
@@ -52,8 +53,17 @@ struct PolicyBlockStats
  * @param wl_stride Sample every Nth wordline.
  * @param threads Worker threads (1 = serial).
  * @param read_stream Read-noise stream key (see nand::ReadClock).
- * @param trace Optional event log: one "read_session" event per
- *        sampled wordline, emitted in wordline order.
+ * @param trace Optional legacy event log: one "read_session" event
+ *        per sampled wordline, emitted in wordline order (deprecated,
+ *        see util::trace_log).
+ * @param spans Optional causal span sink: one "read_session" root per
+ *        sampled wordline with "attempt" / "assist_read" /
+ *        "calib_step" / "xfer" children on a virtual timeline laid
+ *        end-to-end from the LatencyParams (sessions are emitted in
+ *        wordline order; the root's dur_us is the same
+ *        sessionLatencyUs value recordSession() accumulates, so the
+ *        analyzer's critical-path totals match the metrics
+ *        bit-exactly).
  */
 PolicyBlockStats evaluateBlock(const nand::Chip &chip, int block,
                                const ReadPolicy &policy,
@@ -63,7 +73,8 @@ PolicyBlockStats evaluateBlock(const nand::Chip &chip, int block,
                                const LatencyParams &latency, int page = -1,
                                int wl_stride = 1, int threads = 1,
                                std::uint64_t read_stream = 0,
-                               util::TraceLog *trace = nullptr);
+                               util::TraceLog *trace = nullptr,
+                               util::SpanTrace *spans = nullptr);
 
 /**
  * The paper's success rule: a found voltage succeeds when the RBER it

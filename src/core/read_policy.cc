@@ -153,10 +153,18 @@ attempt(ReadContext &ctx, const std::vector<int> &voltages,
         ReadSessionResult &session)
 {
     ++session.attempts;
-    session.senseOps += ctx.pageSenseOps();
+    const int sense_ops = ctx.pageSenseOps();
+    session.senseOps += sense_ops;
     session.finalVoltages = voltages;
     session.finalErrors = ctx.pageErrors(voltages);
     session.success = ctx.decodable(voltages);
+    if (util::SpanBuffer *sb = ctx.spanBuffer()) {
+        const int s = sb->begin("attempt", ctx.spanRoot());
+        sb->num(s, "n", session.attempts);
+        sb->num(s, "sense_ops", sense_ops);
+        sb->num(s, "errors", static_cast<double>(session.finalErrors));
+        sb->num(s, "decoded", session.success ? 1.0 : 0.0);
+    }
     return session.success;
 }
 
@@ -318,6 +326,10 @@ SentinelPolicy::read(ReadContext &ctx) const
     if (!sensed_already) {
         ++session.assistReads;
         ++session.senseOps;
+        if (util::SpanBuffer *sb = ctx.spanBuffer()) {
+            const int s = sb->begin("assist_read", ctx.spanRoot());
+            sb->num(s, "sentinel_v", v_s_default);
+        }
     }
 
     const double d =
@@ -352,6 +364,15 @@ SentinelPolicy::read(ReadContext &ctx) const
                            : session.calibTuneBack);
                 offset = calibratedOffset(offset, further, d,
                                           calibration_.delta);
+            }
+            if (util::SpanBuffer *sb = ctx.spanBuffer()) {
+                const int s = sb->begin("calib_step", ctx.spanRoot());
+                sb->num(s, "case",
+                        obs.decision == CalibrationCase::Converged ? 0.0
+                            : obs.decision == CalibrationCase::TuneFurther
+                            ? 1.0
+                            : 2.0);
+                sb->num(s, "offset", offset);
             }
         }
         int try_offset = offset;

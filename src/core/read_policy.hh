@@ -29,6 +29,7 @@
 #include "nandsim/snapshot.hh"
 #include "nandsim/vth_view.hh"
 #include "util/metrics.hh"
+#include "util/span_trace.hh"
 
 namespace flash::core
 {
@@ -145,6 +146,24 @@ class ReadContext
     /** Sense operations of one attempt of this page. */
     int pageSenseOps() const;
 
+    /**
+     * Attach a causal span recorder: policies append one child span
+     * of @p root per attempt / assist read / calibration step (see
+     * util::span_trace). Recording alters no session behaviour and
+     * consumes no read sequence numbers; nullptr detaches.
+     */
+    void setSpanBuffer(util::SpanBuffer *spans, int root)
+    {
+        spans_ = spans;
+        spanRoot_ = root;
+    }
+
+    /** Attached span recorder (nullptr when none). */
+    util::SpanBuffer *spanBuffer() const { return spans_; }
+
+    /** Buffer-local index of the session's root span. */
+    int spanRoot() const { return spanRoot_; }
+
     const nand::Chip &chip() const { return *chip_; }
     int block() const { return block_; }
     int wordline() const { return wl_; }
@@ -165,6 +184,8 @@ class ReadContext
     std::optional<nand::WordlineVthView> sentView_;
     std::optional<nand::WordlineSnapshot> data_;
     std::optional<nand::WordlineSnapshot> sent_;
+    util::SpanBuffer *spans_ = nullptr;
+    int spanRoot_ = -1;
 };
 
 /**

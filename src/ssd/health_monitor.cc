@@ -1,0 +1,213 @@
+#include "ssd/health_monitor.hh"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/error_difference.hh"
+#include "core/inference.hh"
+#include "nandsim/read_seq.hh"
+#include "nandsim/snapshot.hh"
+#include "util/logging.hh"
+
+namespace flash::ssd
+{
+
+namespace
+{
+
+/** Ratio guarded against an empty denominator. */
+double
+rate(double num, double den)
+{
+    return den > 0.0 ? num / den : 0.0;
+}
+
+void
+field(std::ostream &os, const char *key, double v)
+{
+    os << ", \"" << key << "\": ";
+    util::writeJsonValue(os, v);
+}
+
+} // namespace
+
+HealthMonitor::HealthMonitor(std::ostream &os, HealthMonitorOptions options)
+    : os_(&os), options_(options)
+{
+    util::fatalIf(options_.intervalUs <= 0.0,
+                  "HealthMonitor: bad snapshot interval");
+    util::fatalIf(options_.wlStride < 1, "HealthMonitor: bad probe stride");
+}
+
+void
+HealthMonitor::beginRun(const std::string &context)
+{
+    context_ = context;
+    windowOpen_ = false;
+    windowStartUs_ = 0.0;
+    lastUs_ = 0.0;
+    prevPageOps_ = 0;
+    prevAttempts_ = 0;
+    prevSenseOps_ = 0;
+    prevAssists_ = 0;
+}
+
+void
+HealthMonitor::onRequest(double t_us, const util::MetricsRegistry &metrics)
+{
+    if (!windowOpen_) {
+        windowOpen_ = true;
+        windowStartUs_ = t_us;
+        lastUs_ = t_us;
+        return;
+    }
+    lastUs_ = t_us;
+    while (t_us >= windowStartUs_ + options_.intervalUs) {
+        windowStartUs_ += options_.intervalUs;
+        ssdSnapshot(windowStartUs_, metrics, false);
+    }
+}
+
+void
+HealthMonitor::finishRun(const util::MetricsRegistry &metrics)
+{
+    ssdSnapshot(lastUs_, metrics, true);
+    windowOpen_ = false;
+}
+
+void
+HealthMonitor::ssdSnapshot(double t_us, const util::MetricsRegistry &metrics,
+                           bool final_snapshot)
+{
+    const std::uint64_t page_ops = metrics.counter("ssd.read.page_ops");
+    const std::uint64_t attempts = metrics.counter("ssd.read.attempts");
+    const std::uint64_t sense_ops = metrics.counter("ssd.read.sense_ops");
+    const std::uint64_t assists = metrics.counter("ssd.read.assist_reads");
+
+    const double d_reads =
+        static_cast<double>(page_ops - prevPageOps_);
+    const double d_retries = static_cast<double>(attempts - prevAttempts_)
+        - d_reads;
+    const double d_sense = static_cast<double>(sense_ops - prevSenseOps_);
+    const double d_assist = static_cast<double>(assists - prevAssists_);
+    prevPageOps_ = page_ops;
+    prevAttempts_ = attempts;
+    prevSenseOps_ = sense_ops;
+    prevAssists_ = assists;
+
+    *os_ << "{\"health\": \"ssd\", \"context\": \""
+         << util::jsonEscape(context_) << '"';
+    field(*os_, "t_us", t_us);
+    field(*os_, "reads", d_reads);
+    field(*os_, "retries_per_read", rate(d_retries, d_reads));
+    field(*os_, "sense_ops_per_read", rate(d_sense, d_reads));
+    field(*os_, "assist_reads_per_read", rate(d_assist, d_reads));
+    if (const util::LatencyHistogram *h =
+            metrics.findHistogram("ssd.read.request_latency_us")) {
+        field(*os_, "read_p50_us", h->percentile(0.50));
+        field(*os_, "read_p99_us", h->percentile(0.99));
+        field(*os_, "read_p999_us", h->percentile(0.999));
+    }
+    if (cache_) {
+        const core::VoltageCache::Stats s = cache_->stats();
+        const double lookups =
+            static_cast<double>(s.hits + s.misses + s.stales);
+        field(*os_, "cache_hit_rate", rate(static_cast<double>(s.hits),
+                                           lookups));
+        field(*os_, "cache_stale_rate", rate(static_cast<double>(s.stales),
+                                             lookups));
+    }
+    if (final_snapshot)
+        *os_ << ", \"final\": 1";
+    *os_ << "}\n";
+    ++records_;
+}
+
+void
+HealthMonitor::probeBlock(const nand::Chip &chip, int block,
+                          const core::Characterization *tables,
+                          const nand::SentinelOverlay &overlay, double t_us)
+{
+    const nand::ChipGeometry &geom = chip.geometry();
+    const auto defaults = chip.model().defaultVoltages();
+    const int msb_page = chip.grayCode().msbPage();
+    const int k_s = tables ? tables->sentinelBoundary
+                           : overlay.highState; // boundary below highState
+    const nand::ReadClock clock(options_.readStream);
+
+    std::optional<core::InferenceEngine> engine;
+    if (tables)
+        engine.emplace(*tables, defaults);
+
+    double rber_sum = 0.0, rber_max = 0.0, d_sum = 0.0, off_sum = 0.0;
+    int sampled = 0;
+    std::vector<double> layer_sum(static_cast<std::size_t>(geom.layers),
+                                  0.0);
+    std::vector<int> layer_n(static_cast<std::size_t>(geom.layers), 0);
+
+    for (int wl = 0; wl < geom.wordlinesPerBlock();
+         wl += options_.wlStride) {
+        nand::ReadSeq seq = clock.session(block, wl);
+        const auto data = nand::WordlineSnapshot::dataRegion(
+            chip, block, wl, seq.next());
+        const auto sent = core::sentinelSnapshot(chip, block, wl, overlay,
+                                                 seq.next());
+        const double rber = data.pageRber(msb_page, defaults);
+        rber_sum += rber;
+        rber_max = std::max(rber_max, rber);
+        const double d = core::countSentinelErrors(
+            sent, k_s, defaults[static_cast<std::size_t>(k_s)]).dRate();
+        d_sum += d;
+        if (engine) {
+            const int off = engine->infer(d).sentinelOffset;
+            off_sum += off;
+            const std::size_t layer =
+                static_cast<std::size_t>(geom.layerOf(wl));
+            layer_sum[layer] += off;
+            ++layer_n[layer];
+        }
+        ++sampled;
+    }
+
+    const nand::BlockAge &age = chip.blockAge(block);
+    *os_ << "{\"health\": \"chip\", \"context\": \""
+         << util::jsonEscape(context_) << '"';
+    field(*os_, "t_us", t_us);
+    field(*os_, "block", block);
+    field(*os_, "pe_cycles", age.peCycles);
+    field(*os_, "retention_hours", age.effRetentionHours);
+    field(*os_, "retention_temp_c", age.retentionTempC);
+    field(*os_, "read_count", static_cast<double>(age.readCount));
+    field(*os_, "wordlines", sampled);
+    field(*os_, "rber_mean", rate(rber_sum, sampled));
+    field(*os_, "rber_max", rber_max);
+    field(*os_, "d_rate_mean", rate(d_sum, sampled));
+    if (engine) {
+        field(*os_, "sentinel_offset_mean", rate(off_sum, sampled));
+        // Only sampled layers appear; index i of "layer_offset" is
+        // the drift of layer "layers"[i].
+        *os_ << ", \"layers\": [";
+        bool first = true;
+        for (std::size_t l = 0; l < layer_n.size(); ++l) {
+            if (!layer_n[l])
+                continue;
+            *os_ << (first ? "" : ", ") << l;
+            first = false;
+        }
+        *os_ << "], \"layer_offset\": [";
+        first = true;
+        for (std::size_t l = 0; l < layer_n.size(); ++l) {
+            if (!layer_n[l])
+                continue;
+            *os_ << (first ? "" : ", ");
+            util::writeJsonValue(*os_, layer_sum[l] / layer_n[l]);
+            first = false;
+        }
+        *os_ << ']';
+    }
+    *os_ << "}\n";
+    ++records_;
+}
+
+} // namespace flash::ssd

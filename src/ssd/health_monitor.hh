@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Device-health telemetry (`--health-out FILE`).
+ *
+ * Emits a JSON-lines time series with two record kinds:
+ *
+ *  - {"health": "ssd", ...}: periodic snapshots of the running SSD
+ *    simulation — page reads in the window, retries / sense ops /
+ *    assist reads per read (windowed deltas of the "ssd.read.*"
+ *    counters), cumulative request-latency percentiles, and the
+ *    inferred-voltage-cache hit/stale rates when a cache is attached.
+ *    Driven by SsdSim via setHealthMonitor(): onRequest() once per
+ *    trace record, finishRun() for the closing snapshot.
+ *
+ *  - {"health": "chip", ...}: on-demand probes of one block's device
+ *    state — per-block observed RBER (mean/max over sampled
+ *    wordlines at the default voltages, MSB page), the sentinel
+ *    error-difference rate, the inferred sentinel offset, and the
+ *    per-layer inferred-offset drift, next to the block's P/E cycles
+ *    and effective retention. The benches call probeBlock() at aging
+ *    checkpoints to chart drift against P/E + retention.
+ *
+ * All probes draw their sensing noise from a caller-chosen read
+ * stream, so a health file is byte-identical across reruns and does
+ * not perturb the experiment's own read sequences. Schema: see
+ * DESIGN.md §12.
+ */
+
+#ifndef SENTINELFLASH_SSD_HEALTH_MONITOR_HH
+#define SENTINELFLASH_SSD_HEALTH_MONITOR_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "core/characterization.hh"
+#include "core/voltage_cache.hh"
+#include "nandsim/chip.hh"
+#include "util/metrics.hh"
+
+namespace flash::ssd
+{
+
+/** Knobs of the health time series. */
+struct HealthMonitorOptions
+{
+    /** Simulated time between periodic SSD snapshots. */
+    double intervalUs = 100000.0;
+
+    /** Chip probes sample every Nth wordline. */
+    int wlStride = 16;
+
+    /** Read-noise stream of the chip probes (see nand::ReadClock). */
+    std::uint64_t readStream = 0;
+};
+
+/** JSON-lines health recorder; see the file comment. */
+class HealthMonitor
+{
+  public:
+    /** @param os Caller-owned sink; must outlive the monitor. */
+    explicit HealthMonitor(std::ostream &os,
+                           HealthMonitorOptions options = {});
+
+    /**
+     * Attach an inferred-voltage cache whose hit/stale rates the SSD
+     * snapshots report (nullptr detaches).
+     */
+    void attachCache(const core::VoltageCache *cache) { cache_ = cache; }
+
+    /**
+     * Start a new observation run (e.g. one workload/policy pair).
+     * Resets the windowed-delta state and stamps every following
+     * record with @p context.
+     */
+    void beginRun(const std::string &context);
+
+    /**
+     * Advance the simulated clock; emits one "ssd" snapshot whenever
+     * a full interval has elapsed since the last one.
+     */
+    void onRequest(double t_us, const util::MetricsRegistry &metrics);
+
+    /** Emit the closing "ssd" snapshot of the run ("final": 1). */
+    void finishRun(const util::MetricsRegistry &metrics);
+
+    /**
+     * Probe one block's device state and emit a "chip" record at
+     * simulated time @p t_us. @p tables enables offset inference
+     * (nullptr skips the offset fields); @p overlay locates the
+     * sentinel cells.
+     */
+    void probeBlock(const nand::Chip &chip, int block,
+                    const core::Characterization *tables,
+                    const nand::SentinelOverlay &overlay, double t_us);
+
+    /** Records emitted so far (both kinds). */
+    std::uint64_t records() const { return records_; }
+
+  private:
+    void ssdSnapshot(double t_us, const util::MetricsRegistry &metrics,
+                     bool final_snapshot);
+
+    std::ostream *os_;
+    HealthMonitorOptions options_;
+    const core::VoltageCache *cache_ = nullptr;
+    std::string context_;
+    std::uint64_t records_ = 0;
+
+    bool windowOpen_ = false;
+    double windowStartUs_ = 0.0;
+    double lastUs_ = 0.0;
+    std::uint64_t prevPageOps_ = 0;
+    std::uint64_t prevAttempts_ = 0;
+    std::uint64_t prevSenseOps_ = 0;
+    std::uint64_t prevAssists_ = 0;
+};
+
+} // namespace flash::ssd
+
+#endif // SENTINELFLASH_SSD_HEALTH_MONITOR_HH

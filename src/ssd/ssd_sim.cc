@@ -2,8 +2,25 @@
 
 #include <algorithm>
 
+#include "ssd/health_monitor.hh"
+
 namespace flash::ssd
 {
+
+namespace
+{
+
+/** Record a wait/work child span, skipping zero-length waits. */
+void
+childSpan(util::SpanBuffer *sb, int parent, const char *cls,
+          double start_us, double dur_us)
+{
+    if (!sb || dur_us <= 0.0)
+        return;
+    sb->time(sb->begin(cls, parent), start_us, dur_us);
+}
+
+} // namespace
 
 void
 SimReport::writeJson(std::ostream &os) const
@@ -53,7 +70,8 @@ SsdSim::channelOf(int plane) const
 }
 
 double
-SsdSim::readPageOp(double arrival, int plane, LatencyBreakdown &bd)
+SsdSim::readPageOp(double arrival, int plane, LatencyBreakdown &bd,
+                   util::SpanBuffer *sb, int parent)
 {
     // Same per-session model as core::sessionLatencyUs: every attempt
     // pays command overhead plus a decode try, an assist read is a
@@ -106,11 +124,27 @@ SsdSim::readPageOp(double arrival, int plane, LatencyBreakdown &bd)
                        {"xfer_us", bd.xferUs},
                        {"latency_us", done - arrival}});
     }
+    if (sb) {
+        const int op = sb->begin("read_op", parent);
+        sb->num(op, "plane", static_cast<double>(plane));
+        sb->num(op, "channel", static_cast<double>(ch));
+        sb->num(op, "attempts", static_cast<double>(cost.attempts));
+        sb->num(op, "sense_ops", static_cast<double>(cost.senseOps));
+        sb->num(op, "assist_reads",
+                static_cast<double>(cost.assistReads));
+        sb->time(op, arrival, done - arrival);
+        childSpan(sb, op, "plane_wait", arrival, start - arrival);
+        childSpan(sb, op, "flash", start, flash_us);
+        childSpan(sb, op, "channel_wait", flash_done,
+                  bus_start - flash_done);
+        childSpan(sb, op, "xfer", bus_start, bd.xferUs);
+    }
     return done;
 }
 
 double
-SsdSim::writePageOp(double arrival, std::int64_t lpn, LatencyBreakdown &bd)
+SsdSim::writePageOp(double arrival, std::int64_t lpn, LatencyBreakdown &bd,
+                    util::SpanBuffer *sb, int parent)
 {
     const WriteEffect effect = ftl_.write(lpn);
     const int plane = effect.target.plane;
@@ -161,6 +195,18 @@ SsdSim::writePageOp(double arrival, std::int64_t lpn, LatencyBreakdown &bd)
                        {"program_us", bd.flashUs},
                        {"latency_us", done - arrival}});
     }
+    if (sb) {
+        const int op = sb->begin("write_op", parent);
+        sb->num(op, "lpn", static_cast<double>(lpn));
+        sb->num(op, "plane", static_cast<double>(plane));
+        sb->num(op, "channel", static_cast<double>(ch));
+        sb->time(op, arrival, done - arrival);
+        childSpan(sb, op, "channel_wait", arrival, bus_start - arrival);
+        childSpan(sb, op, "xfer", bus_start, bd.xferUs);
+        childSpan(sb, op, "plane_wait", bus_done, start - bus_done);
+        childSpan(sb, op, "gc", start, bd.gcUs);
+        childSpan(sb, op, "program", start + bd.gcUs, bd.flashUs);
+    }
     return done;
 }
 
@@ -182,17 +228,25 @@ SsdSim::run(const std::vector<trace::TraceRecord> &trace)
              + page_bytes - 1)
             / page_bytes;
 
+        util::SpanBuffer sb;
+        int root = -1;
+        if (spans_)
+            root = sb.begin(req.isRead ? "host_read" : "host_write");
+
         double done = req.timestampUs;
         for (std::int64_t p = first; p < last; ++p) {
             const std::int64_t lpn = p % logical_pages;
             LatencyBreakdown bd;
             double page_done;
+            util::SpanBuffer *op_sb = spans_ ? &sb : nullptr;
             if (req.isRead) {
                 const PhysAddr addr = ftl_.translate(lpn);
-                page_done = readPageOp(req.timestampUs, addr.plane, bd);
+                page_done = readPageOp(req.timestampUs, addr.plane, bd,
+                                       op_sb, root);
                 ++report.pageReads;
             } else {
-                page_done = writePageOp(req.timestampUs, lpn, bd);
+                page_done = writePageOp(req.timestampUs, lpn, bd, op_sb,
+                                        root);
                 ++report.pageWrites;
             }
             done = std::max(done, page_done);
@@ -216,7 +270,18 @@ SsdSim::run(const std::vector<trace::TraceRecord> &trace)
                            {"pages", static_cast<double>(last - first)},
                            {"latency_us", latency}});
         }
+        if (spans_) {
+            sb.num(root, "pages", static_cast<double>(last - first));
+            sb.num(root, "offset", static_cast<double>(req.offsetBytes));
+            sb.num(root, "size", static_cast<double>(req.sizeBytes));
+            sb.time(root, req.timestampUs, latency);
+            spans_->emit(sb);
+        }
+        if (health_)
+            health_->onRequest(req.timestampUs, metrics_);
     }
+    if (health_)
+        health_->finishRun(metrics_);
     report.ftl = ftl_.stats();
     report.metrics = std::move(metrics_);
     metrics_ = util::MetricsRegistry();

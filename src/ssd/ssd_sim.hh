@@ -25,11 +25,14 @@
 #include "ssd/read_cost.hh"
 #include "trace/trace.hh"
 #include "util/metrics.hh"
+#include "util/span_trace.hh"
 #include "util/stats.hh"
 #include "util/trace_log.hh"
 
 namespace flash::ssd
 {
+
+class HealthMonitor;
 
 /** Where the time of one page operation went. */
 struct LatencyBreakdown
@@ -97,6 +100,26 @@ class SsdSim
      */
     void setTraceLog(util::TraceLog *trace) { trace_ = trace; }
 
+    /**
+     * Attach a causal span sink: one "host_read" / "host_write" root
+     * per trace record with a "read_op" / "write_op" child per page
+     * operation, itself decomposed into "plane_wait" / "flash" /
+     * "channel_wait" / "xfer" (reads) or "channel_wait" / "xfer" /
+     * "plane_wait" / "gc" / "program" (writes) children on the
+     * simulated clock. Requests are emitted in trace order, so the
+     * serialized spans are deterministic for a fixed run. Pass nullptr
+     * to detach; the sink must outlive run().
+     */
+    void setSpanTrace(util::SpanTrace *spans) { spans_ = spans; }
+
+    /**
+     * Attach a device-health monitor: onRequest() is called once per
+     * trace record (with the simulated clock and the live metrics),
+     * finishRun() once at the end of run(). Pass nullptr to detach;
+     * the monitor must outlive run().
+     */
+    void setHealthMonitor(HealthMonitor *health) { health_ = health; }
+
     /** Replay a trace and report latencies. */
     SimReport run(const std::vector<trace::TraceRecord> &trace);
 
@@ -104,9 +127,11 @@ class SsdSim
     /** Channel of a global plane index. */
     int channelOf(int plane) const;
 
-    double readPageOp(double arrival, int plane, LatencyBreakdown &bd);
+    double readPageOp(double arrival, int plane, LatencyBreakdown &bd,
+                      util::SpanBuffer *sb, int parent);
     double writePageOp(double arrival, std::int64_t lpn,
-                       LatencyBreakdown &bd);
+                       LatencyBreakdown &bd, util::SpanBuffer *sb,
+                       int parent);
 
     SsdConfig config_;
     SsdTiming timing_;
@@ -115,6 +140,8 @@ class SsdSim
     Ftl ftl_;
     util::MetricsRegistry metrics_;
     util::TraceLog *trace_ = nullptr;
+    util::SpanTrace *spans_ = nullptr;
+    HealthMonitor *health_ = nullptr;
 
     std::vector<double> planeFree_;
     std::vector<double> channelFree_;

@@ -134,6 +134,41 @@ class Parser
         return v;
     }
 
+    /** Four hex digits of a \\u escape (cursor already past "\\u"). */
+    unsigned
+    hex4()
+    {
+        fatalIf(pos_ + 4 > text_.size(), "json: bad \\u escape");
+        unsigned code = 0;
+        const auto res = std::from_chars(
+            text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+        fatalIf(res.ec != std::errc() || res.ptr != text_.data() + pos_ + 4,
+                "json: bad \\u escape");
+        pos_ += 4;
+        return code;
+    }
+
+    /** Append one code point as UTF-8. */
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
     std::string
     parseString()
     {
@@ -160,17 +195,23 @@ class Parser
             case 'b': out += '\b'; break;
             case 'f': out += '\f'; break;
             case 'u': {
-                fatalIf(pos_ + 4 > text_.size(), "json: bad \\u escape");
-                unsigned code = 0;
-                const auto res = std::from_chars(
-                    text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
-                fatalIf(res.ec != std::errc()
-                            || res.ptr != text_.data() + pos_ + 4,
-                        "json: bad \\u escape");
-                pos_ += 4;
-                // ASCII only (all this repo ever writes).
-                fatalIf(code > 0x7f, "json: non-ASCII \\u escape");
-                out += static_cast<char>(code);
+                unsigned code = hex4();
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    fatalIf(pos_ + 2 > text_.size() || text_[pos_] != '\\'
+                                || text_[pos_ + 1] != 'u',
+                            "json: unpaired surrogate");
+                    pos_ += 2;
+                    const unsigned low = hex4();
+                    fatalIf(low < 0xdc00 || low > 0xdfff,
+                            "json: unpaired surrogate");
+                    code = 0x10000 + ((code - 0xd800) << 10)
+                        + (low - 0xdc00);
+                } else {
+                    fatalIf(code >= 0xdc00 && code <= 0xdfff,
+                            "json: unpaired surrogate");
+                }
+                appendUtf8(out, code);
                 break;
             }
             default:

@@ -22,6 +22,16 @@ jsonNumber(double v)
     return buf;
 }
 
+void
+writeJsonValue(std::ostream &os, double v)
+{
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<long long>(v);
+    } else {
+        os << jsonNumber(v);
+    }
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -35,9 +45,14 @@ jsonEscape(const std::string &s)
         case '\t': out += "\\t"; break;
         case '\r': out += "\\r"; break;
         default:
+            // Control characters must be \u-escaped; the cast keeps
+            // bytes >= 0x80 (UTF-8 continuations, passed through
+            // verbatim) from sign-extending into bogus escapes.
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
                 out += buf;
             } else {
                 out += c;

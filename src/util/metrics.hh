@@ -28,7 +28,18 @@ namespace flash::util
 /** Format a double for JSON (shortest round-trip, deterministic). */
 std::string jsonNumber(double v);
 
-/** Escape a string for embedding in JSON. */
+/**
+ * Write a JSON number; integral values print without an exponent or
+ * decimal point so counts stay greppable (shared by the trace sinks).
+ */
+void writeJsonValue(std::ostream &os, double v);
+
+/**
+ * Escape a string for embedding in JSON: quotes, backslashes and
+ * control characters are escaped; non-ASCII bytes (UTF-8) pass
+ * through verbatim, which is valid JSON. Round-trips exactly through
+ * util::parseJson.
+ */
 std::string jsonEscape(const std::string &s);
 
 /**

@@ -1,0 +1,104 @@
+#include "util/span_trace.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace flash::util
+{
+
+int
+SpanBuffer::begin(const char *cls, int parent)
+{
+    fatalIf(parent >= static_cast<int>(spans_.size()),
+            "SpanBuffer: parent span does not exist yet");
+    SpanRec rec;
+    rec.parent = parent < 0 ? -1 : parent;
+    rec.cls = cls;
+    spans_.push_back(std::move(rec));
+    return static_cast<int>(spans_.size()) - 1;
+}
+
+void
+SpanBuffer::num(int span, const char *key, double value)
+{
+    spans_[static_cast<std::size_t>(span)].nums.emplace_back(key, value);
+}
+
+void
+SpanBuffer::str(int span, const char *key, std::string value)
+{
+    auto &rec = spans_[static_cast<std::size_t>(span)];
+    rec.strKey = key;
+    rec.strVal = std::move(value);
+}
+
+void
+SpanBuffer::time(int span, double start_us, double dur_us)
+{
+    auto &rec = spans_[static_cast<std::size_t>(span)];
+    rec.startUs = start_us;
+    rec.durUs = dur_us;
+}
+
+double
+SpanBuffer::numAttr(int span, const char *key, double fallback) const
+{
+    for (const auto &[k, v] : spans_[static_cast<std::size_t>(span)].nums) {
+        if (std::strcmp(k, key) == 0)
+            return v;
+    }
+    return fallback;
+}
+
+bool
+SpanTrace::emit(const SpanBuffer &buf)
+{
+    if (buf.empty())
+        return true;
+    const std::size_t n = static_cast<std::size_t>(buf.size());
+    if (flat_.size() + n > capacity_) {
+        // Drop the whole session: partial trees would orphan children
+        // and break the analyzer's invariants.
+        dropped_ += n;
+        return false;
+    }
+    const std::uint64_t base = flat_.size();
+    for (int i = 0; i < buf.size(); ++i) {
+        FlatSpan fs;
+        fs.id = base + static_cast<std::uint64_t>(i) + 1;
+        const int parent = buf.rec(i).parent;
+        fs.parent = parent < 0
+            ? 0
+            : base + static_cast<std::uint64_t>(parent) + 1;
+        fs.rec = buf.rec(i);
+        flat_.push_back(std::move(fs));
+    }
+    return true;
+}
+
+void
+SpanTrace::writeJsonLines(std::ostream &os) const
+{
+    for (const auto &fs : flat_) {
+        os << "{\"span\": \"" << jsonEscape(fs.rec.cls) << "\", \"id\": "
+           << fs.id << ", \"parent\": " << fs.parent << ", \"start_us\": ";
+        writeJsonValue(os, fs.rec.startUs);
+        os << ", \"dur_us\": ";
+        writeJsonValue(os, fs.rec.durUs);
+        if (fs.rec.strKey) {
+            os << ", \"" << jsonEscape(fs.rec.strKey) << "\": \""
+               << jsonEscape(fs.rec.strVal) << '"';
+        }
+        for (const auto &[key, value] : fs.rec.nums) {
+            os << ", \"" << jsonEscape(key) << "\": ";
+            writeJsonValue(os, value);
+        }
+        os << "}\n";
+    }
+    os << "{\"span_summary\": 1, \"spans\": " << flat_.size()
+       << ", \"dropped_spans\": " << dropped_ << "}\n";
+}
+
+} // namespace flash::util

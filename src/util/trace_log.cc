@@ -1,7 +1,5 @@
 #include "util/trace_log.hh"
 
-#include <cmath>
-
 #include "util/metrics.hh"
 
 namespace flash::util
@@ -17,19 +15,17 @@ void
 TraceLog::event(const char *type, std::initializer_list<StrField> strs,
                 std::initializer_list<NumField> nums)
 {
+    if (maxEvents_ != 0 && events_ >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
     *os_ << "{\"event\": \"" << jsonEscape(type) << '"';
     for (const auto &[key, value] : strs)
         *os_ << ", \"" << jsonEscape(key) << "\": \"" << jsonEscape(value)
              << '"';
     for (const auto &[key, value] : nums) {
         *os_ << ", \"" << jsonEscape(key) << "\": ";
-        // Integral values print without an exponent/decimal point so
-        // counts stay greppable.
-        if (value == std::floor(value) && std::abs(value) < 1e15) {
-            *os_ << static_cast<long long>(value);
-        } else {
-            *os_ << jsonNumber(value);
-        }
+        writeJsonValue(*os_, value);
     }
     *os_ << "}\n";
     ++events_;

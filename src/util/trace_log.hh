@@ -7,6 +7,13 @@
  * sequential phases of the simulators/evaluators, so a trace written
  * at `--threads N` is byte-identical to the single-threaded one.
  * Schema: see DESIGN.md §10.
+ *
+ * Deprecated in favour of the parent-linked span trace
+ * (util::span_trace, `--trace-spans`); the flat `read_session` /
+ * `read_op` event schema stays emittable behind `--trace-out` for one
+ * release. The sink is optionally bounded: past max_events, events
+ * are dropped and counted in droppedEvents(), never silently
+ * truncated.
  */
 
 #ifndef SENTINELFLASH_UTIL_TRACE_LOG_HH
@@ -27,7 +34,10 @@ class TraceLog
     using NumField = std::pair<const char *, double>;
     using StrField = std::pair<const char *, std::string>;
 
-    explicit TraceLog(std::ostream &os) : os_(&os) {}
+    /** @param max_events Event budget; 0 means unbounded. */
+    explicit TraceLog(std::ostream &os, std::uint64_t max_events = 0)
+        : os_(&os), maxEvents_(max_events)
+    {}
 
     /** Emit one event with numeric fields only. */
     void event(const char *type, std::initializer_list<NumField> nums);
@@ -39,9 +49,14 @@ class TraceLog
     /** Number of events emitted so far. */
     std::uint64_t events() const { return events_; }
 
+    /** Events dropped because the budget was exhausted. */
+    std::uint64_t droppedEvents() const { return dropped_; }
+
   private:
     std::ostream *os_;
+    std::uint64_t maxEvents_;
     std::uint64_t events_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace flash::util

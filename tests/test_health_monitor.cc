@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/characterization.hh"
+#include "core/voltage_cache.hh"
+#include "ssd/health_monitor.hh"
+#include "ssd/ssd_sim.hh"
+#include "trace/msr_workloads.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "test_support.hh"
+
+namespace flash::ssd
+{
+namespace
+{
+
+std::vector<util::JsonValue>
+parsedLines(const std::string &text)
+{
+    std::vector<util::JsonValue> records;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty())
+            records.push_back(util::parseJson(line));
+    }
+    return records;
+}
+
+class HealthMonitorTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        chip = std::make_unique<nand::Chip>(test::mediumTlcGeometry(),
+                                            nand::tlcVoltageParams(), 888);
+        core::CharOptions opt;
+        opt.sentinel.ratio = 0.01; // medium geometry: keep ~370 sentinels
+        opt.wordlineStride = 4;
+        const core::FactoryCharacterizer characterizer(opt);
+        tables = std::make_unique<core::Characterization>(
+            characterizer.run(*chip));
+        overlay = core::makeOverlay(chip->geometry(), opt.sentinel);
+
+        chip->programBlock(1, 9, overlay);
+        chip->setPeCycles(1, 5000);
+        chip->age(1, 8760.0, 25.0);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        tables.reset();
+        chip.reset();
+    }
+
+    static std::unique_ptr<nand::Chip> chip;
+    static std::unique_ptr<core::Characterization> tables;
+    static nand::SentinelOverlay overlay;
+};
+
+std::unique_ptr<nand::Chip> HealthMonitorTest::chip;
+std::unique_ptr<core::Characterization> HealthMonitorTest::tables;
+nand::SentinelOverlay HealthMonitorTest::overlay;
+
+TEST_F(HealthMonitorTest, ChipProbeIsDeterministicAndComplete)
+{
+    HealthMonitorOptions opt;
+    opt.wlStride = 4;
+
+    std::ostringstream a, b;
+    {
+        HealthMonitor monitor(a, opt);
+        monitor.beginRun("probe");
+        monitor.probeBlock(*chip, 1, tables.get(), overlay, 123.0);
+        EXPECT_EQ(monitor.records(), 1u);
+    }
+    {
+        HealthMonitor monitor(b, opt);
+        monitor.beginRun("probe");
+        monitor.probeBlock(*chip, 1, tables.get(), overlay, 123.0);
+    }
+    // The probe draws noise from its own read stream: reruns are
+    // byte-identical and the chip under test is untouched.
+    EXPECT_EQ(a.str(), b.str());
+
+    const auto records = parsedLines(a.str());
+    ASSERT_EQ(records.size(), 1u);
+    const util::JsonValue &r = records[0];
+    EXPECT_EQ(r.find("health")->string, "chip");
+    EXPECT_EQ(r.find("context")->string, "probe");
+    EXPECT_EQ(r.find("t_us")->number, 123.0);
+    EXPECT_EQ(r.find("block")->number, 1.0);
+    EXPECT_EQ(r.find("pe_cycles")->number, 5000.0);
+    EXPECT_GT(r.find("retention_hours")->number, 0.0);
+    EXPECT_GT(r.find("wordlines")->number, 0.0);
+    EXPECT_GT(r.find("rber_mean")->number, 0.0);
+    EXPECT_GE(r.find("rber_max")->number, r.find("rber_mean")->number);
+    // Retention shifts voltages down: negative error difference.
+    EXPECT_LT(r.find("d_rate_mean")->number, 0.0);
+    ASSERT_NE(r.find("sentinel_offset_mean"), nullptr);
+    const util::JsonValue *layers = r.find("layers");
+    const util::JsonValue *offsets = r.find("layer_offset");
+    ASSERT_NE(layers, nullptr);
+    ASSERT_NE(offsets, nullptr);
+    EXPECT_FALSE(layers->array.empty());
+    EXPECT_EQ(layers->array.size(), offsets->array.size());
+}
+
+TEST_F(HealthMonitorTest, ChipProbeWithoutTablesSkipsOffsetFields)
+{
+    std::ostringstream os;
+    HealthMonitor monitor(os);
+    monitor.beginRun("probe");
+    monitor.probeBlock(*chip, 1, nullptr, overlay, 0.0);
+
+    const auto records = parsedLines(os.str());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_NE(records[0].find("rber_mean"), nullptr);
+    EXPECT_EQ(records[0].find("sentinel_offset_mean"), nullptr);
+    EXPECT_EQ(records[0].find("layers"), nullptr);
+}
+
+TEST(HealthMonitor, SsdSnapshotsFollowIntervalWithWindowedDeltas)
+{
+    std::ostringstream os;
+    HealthMonitorOptions opt;
+    opt.intervalUs = 100.0;
+    HealthMonitor monitor(os, opt);
+    util::MetricsRegistry m;
+
+    monitor.beginRun("run");
+    monitor.onRequest(0.0, m); // opens the window, no record yet
+    EXPECT_EQ(monitor.records(), 0u);
+
+    m.add("ssd.read.page_ops", 10);
+    m.add("ssd.read.attempts", 30);
+    m.add("ssd.read.sense_ops", 50);
+    m.add("ssd.read.assist_reads", 5);
+    monitor.onRequest(250.0, m); // crosses two interval boundaries
+    EXPECT_EQ(monitor.records(), 2u);
+    monitor.finishRun(m);
+    EXPECT_EQ(monitor.records(), 3u);
+
+    const auto records = parsedLines(os.str());
+    ASSERT_EQ(records.size(), 3u);
+    const util::JsonValue &first = records[0];
+    EXPECT_EQ(first.find("health")->string, "ssd");
+    EXPECT_EQ(first.find("context")->string, "run");
+    EXPECT_EQ(first.find("t_us")->number, 100.0);
+    EXPECT_EQ(first.find("reads")->number, 10.0);
+    EXPECT_EQ(first.find("retries_per_read")->number, 2.0);
+    EXPECT_EQ(first.find("sense_ops_per_read")->number, 5.0);
+    EXPECT_EQ(first.find("assist_reads_per_read")->number, 0.5);
+    EXPECT_EQ(first.find("final"), nullptr);
+
+    // Deltas reset between windows: the second window saw no reads.
+    EXPECT_EQ(records[1].find("t_us")->number, 200.0);
+    EXPECT_EQ(records[1].find("reads")->number, 0.0);
+
+    const util::JsonValue &last = records[2];
+    EXPECT_EQ(last.find("t_us")->number, 250.0);
+    ASSERT_NE(last.find("final"), nullptr);
+    EXPECT_EQ(last.find("final")->number, 1.0);
+}
+
+TEST(HealthMonitor, ReportsCacheRatesAndLatencyPercentilesWhenPresent)
+{
+    std::ostringstream os;
+    HealthMonitor monitor(os);
+    const core::VoltageCache cache;
+    monitor.attachCache(&cache);
+
+    util::MetricsRegistry m;
+    m.observe("ssd.read.request_latency_us", 50.0);
+    m.observe("ssd.read.request_latency_us", 70.0);
+    monitor.beginRun("run");
+    monitor.finishRun(m);
+
+    const auto records = parsedLines(os.str());
+    ASSERT_EQ(records.size(), 1u);
+    ASSERT_NE(records[0].find("read_p50_us"), nullptr);
+    ASSERT_NE(records[0].find("read_p99_us"), nullptr);
+    ASSERT_NE(records[0].find("read_p999_us"), nullptr);
+    ASSERT_NE(records[0].find("cache_hit_rate"), nullptr);
+    EXPECT_EQ(records[0].find("cache_hit_rate")->number, 0.0);
+    EXPECT_EQ(records[0].find("cache_stale_rate")->number, 0.0);
+}
+
+TEST(HealthMonitor, RejectsBadOptions)
+{
+    std::ostringstream os;
+    HealthMonitorOptions bad_interval;
+    bad_interval.intervalUs = 0.0;
+    EXPECT_THROW(HealthMonitor(os, bad_interval), util::FatalError);
+    HealthMonitorOptions bad_stride;
+    bad_stride.wlStride = 0;
+    EXPECT_THROW(HealthMonitor(os, bad_stride), util::FatalError);
+}
+
+TEST(HealthMonitor, SsdSimDrivesPeriodicSnapshots)
+{
+    std::ostringstream os;
+    HealthMonitorOptions opt;
+    opt.intervalUs = 50000.0;
+    HealthMonitor monitor(os, opt);
+
+    SsdConfig cfg;
+    SsdTiming timing;
+    FixedReadCost cost(2);
+    SsdSim sim(cfg, timing, cost, 1);
+    sim.setHealthMonitor(&monitor);
+
+    monitor.beginRun("hm_0.fixed");
+    sim.run(trace::generateTrace(trace::msrWorkload("hm_0"), 2000, 7));
+
+    const auto records = parsedLines(os.str());
+    ASSERT_GE(records.size(), 2u);
+    EXPECT_EQ(monitor.records(), records.size());
+    double prev = -1.0;
+    for (const util::JsonValue &r : records) {
+        EXPECT_EQ(r.find("health")->string, "ssd");
+        ASSERT_NE(r.find("t_us"), nullptr);
+        EXPECT_GE(r.find("t_us")->number, prev);
+        prev = r.find("t_us")->number;
+    }
+    EXPECT_EQ(records.back().find("final")->number, 1.0);
+}
+
+} // namespace
+} // namespace flash::ssd

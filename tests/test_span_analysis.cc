@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "trace/span_analysis.hh"
+#include "util/json.hh"
+
+namespace flash::trace
+{
+namespace
+{
+
+std::string
+spanLine(const char *cls, std::uint64_t id, std::uint64_t parent,
+         double start, double dur, const std::string &extra = "")
+{
+    std::ostringstream os;
+    os << "{\"span\": \"" << cls << "\", \"id\": " << id
+       << ", \"parent\": " << parent << ", \"start_us\": " << start
+       << ", \"dur_us\": " << dur;
+    if (!extra.empty())
+        os << ", " << extra;
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+summaryLine(std::uint64_t spans, std::uint64_t dropped)
+{
+    std::ostringstream os;
+    os << "{\"span_summary\": 1, \"spans\": " << spans
+       << ", \"dropped_spans\": " << dropped << "}\n";
+    return os.str();
+}
+
+SpanForest
+parse(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseSpanTrace(is);
+}
+
+TEST(ParseSpanTrace, ResolvesTreesAndSummary)
+{
+    const SpanForest forest = parse(
+        spanLine("read_session", 1, 0, 0, 55,
+                 "\"policy\": \"sentinel\", \"attempts\": 2")
+        + spanLine("attempt", 2, 1, 0, 35)
+        + spanLine("xfer", 3, 1, 35, 20) + summaryLine(3, 7));
+
+    ASSERT_EQ(forest.nodes.size(), 3u);
+    ASSERT_EQ(forest.roots.size(), 1u);
+    EXPECT_TRUE(forest.orphans.empty());
+    EXPECT_EQ(forest.duplicates, 0u);
+    EXPECT_TRUE(forest.haveSummary);
+    EXPECT_EQ(forest.declaredSpans, 3u);
+    EXPECT_EQ(forest.declaredDropped, 7u);
+
+    const SpanNode &root = forest.nodes[0];
+    EXPECT_EQ(root.cls, "read_session");
+    EXPECT_EQ(root.strs.at("policy"), "sentinel");
+    EXPECT_EQ(root.num("attempts"), 2.0);
+    ASSERT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(forest.nodes[1].parentIndex, 0);
+    EXPECT_EQ(forest.nodes[2].parentIndex, 0);
+}
+
+TEST(ParseSpanTrace, IgnoresInterleavedForeignJsonLines)
+{
+    const SpanForest forest = parse(
+        "{\"health\": \"ssd\", \"t_us\": 100, \"reads\": 5}\n"
+        + spanLine("read_session", 1, 0, 0, 10)
+        + "{\"event\": \"read_session\", \"wordline\": 3}\n"
+        + spanLine("attempt", 2, 1, 0, 10));
+    EXPECT_EQ(forest.nodes.size(), 2u);
+    EXPECT_EQ(forest.roots.size(), 1u);
+}
+
+TEST(AnalyzeSpans, DetectsOrphans)
+{
+    const SpanForest forest = parse(spanLine("read_session", 1, 0, 0, 10)
+                                    + spanLine("attempt", 5, 99, 0, 5));
+    ASSERT_EQ(forest.orphans.size(), 1u);
+    EXPECT_EQ(forest.orphans[0], 5u);
+    const TraceAnalysis a = analyzeSpans(forest);
+    EXPECT_EQ(a.orphanCount, 1u);
+}
+
+TEST(AnalyzeSpans, DetectsDuplicateIds)
+{
+    const SpanForest forest = parse(spanLine("read_session", 1, 0, 0, 10)
+                                    + spanLine("attempt", 2, 1, 0, 5)
+                                    + spanLine("attempt", 2, 1, 5, 5));
+    EXPECT_EQ(forest.duplicates, 1u);
+    EXPECT_EQ(forest.nodes.size(), 2u);
+    EXPECT_EQ(analyzeSpans(forest).duplicateCount, 1u);
+}
+
+TEST(AnalyzeSpans, FlagsSummaryMismatch)
+{
+    const SpanForest forest =
+        parse(spanLine("read_session", 1, 0, 0, 10) + summaryLine(5, 0));
+    const TraceAnalysis a = analyzeSpans(forest);
+    EXPECT_FALSE(a.summaryMatches);
+    // A matching summary passes and carries the dropped count through.
+    const TraceAnalysis b = analyzeSpans(
+        parse(spanLine("read_session", 1, 0, 0, 10) + summaryLine(1, 9)));
+    EXPECT_TRUE(b.summaryMatches);
+    EXPECT_EQ(b.droppedSpans, 9u);
+}
+
+TEST(AnalyzeSpans, FlagsNegativeDuration)
+{
+    const TraceAnalysis a =
+        analyzeSpans(parse(spanLine("read_session", 1, 0, 0, -2)));
+    ASSERT_EQ(a.violationCount, 1u);
+    EXPECT_NE(a.violations[0].find("negative duration"), std::string::npos);
+}
+
+TEST(AnalyzeSpans, FlagsChildrenEscapingAndOverflowingParent)
+{
+    // Child b ends past the parent (escape) and the child durations
+    // sum past the parent's (sum violation); a alone is fine.
+    const TraceAnalysis a = analyzeSpans(
+        parse(spanLine("read_session", 1, 0, 0, 10)
+              + spanLine("attempt", 2, 1, 0, 6)
+              + spanLine("attempt", 3, 1, 6, 7)));
+    EXPECT_EQ(a.violationCount, 2u);
+    bool saw_escape = false, saw_sum = false;
+    for (const std::string &v : a.violations) {
+        saw_escape |= v.find("escapes parent") != std::string::npos;
+        saw_sum |= v.find("sum to") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_escape);
+    EXPECT_TRUE(saw_sum);
+}
+
+TEST(AnalyzeSpans, ParallelChildrenAreExcusedFromSumCheck)
+{
+    // Two page ops fanned out in parallel under one host request:
+    // they overlap, so their summed duration may exceed the parent's.
+    const TraceAnalysis a = analyzeSpans(
+        parse(spanLine("host_read", 1, 0, 0, 10)
+              + spanLine("read_op", 2, 1, 0, 10)
+              + spanLine("read_op", 3, 1, 0, 10)));
+    EXPECT_EQ(a.violationCount, 0u);
+}
+
+TEST(AnalyzeSpans, CriticalPathChargesGapsToParent)
+{
+    const TraceAnalysis a = analyzeSpans(
+        parse(spanLine("host_read", 1, 0, 0, 100)
+              + spanLine("read_op", 2, 1, 10, 40)
+              + spanLine("read_op", 3, 1, 60, 30)));
+    // Gaps 0-10, 50-60 and 90-100 are the root's own work.
+    EXPECT_EQ(a.criticalPathUs.at("host_read"), 30.0);
+    EXPECT_EQ(a.criticalPathUs.at("read_op"), 70.0);
+}
+
+TEST(AnalyzeSpans, OverlappingSiblingsResolveToTheLaterEnd)
+{
+    const TraceAnalysis a = analyzeSpans(
+        parse(spanLine("host_read", 1, 0, 0, 100)
+              + spanLine("fast_op", 2, 1, 0, 50)
+              + spanLine("slow_op", 3, 1, 10, 90)));
+    // The parent waited for slow_op; fast_op is off the chain.
+    EXPECT_EQ(a.criticalPathUs.at("slow_op"), 90.0);
+    EXPECT_EQ(a.criticalPathUs.at("host_read"), 10.0);
+    EXPECT_EQ(a.criticalPathUs.count("fast_op"), 0u);
+}
+
+TEST(AnalyzeSpans, RootStatsAndTailAttribution)
+{
+    std::string text;
+    for (int i = 1; i <= 100; ++i) {
+        text += spanLine("read_session", static_cast<std::uint64_t>(i), 0,
+                         100.0 * (i - 1), static_cast<double>(i));
+    }
+    const TraceAnalysis a = analyzeSpans(parse(text));
+    EXPECT_EQ(a.rootCount, 100u);
+    EXPECT_EQ(a.rootTotalUs.at("read_session"), 5050.0);
+    const auto &stats = a.rootStats.at("read_session");
+    EXPECT_EQ(stats.at("count"), 100.0);
+    EXPECT_EQ(stats.at("p50_us"), 50.0);
+    EXPECT_EQ(stats.at("p99_us"), 99.0);
+    EXPECT_EQ(stats.at("p999_us"), 100.0);
+    EXPECT_EQ(stats.at("max_us"), 100.0);
+    // Tail = roots at or beyond p99: durations 99 and 100.
+    EXPECT_EQ(a.tailCriticalPathUs.at("read_session"), 199.0);
+    EXPECT_EQ(a.tailDominantClass, "read_session");
+}
+
+TEST(AnalyzeSpans, DetectsRetryStorms)
+{
+    const std::string text =
+        spanLine("read_session", 1, 0, 0, 10, "\"attempts\": 7")
+        + spanLine("read_session", 2, 0, 10, 10, "\"attempts\": 3")
+        + spanLine("read_session", 3, 0, 20, 70)
+        + spanLine("attempt", 4, 3, 20, 10)
+        + spanLine("attempt", 5, 3, 30, 10)
+        + spanLine("attempt", 6, 3, 40, 10)
+        + spanLine("attempt", 7, 3, 50, 10)
+        + spanLine("attempt", 8, 3, 60, 10)
+        + spanLine("attempt", 9, 3, 70, 10)
+        + spanLine("attempt", 10, 3, 80, 10);
+    const TraceAnalysis a = analyzeSpans(parse(text));
+    // Root 1 via its attribute (6 retries), root 3 via its seven
+    // attempt children (6 retries); root 2 stays below K=5.
+    ASSERT_EQ(a.retryStorms.size(), 2u);
+    EXPECT_EQ(a.retryStorms[0].rootId, 1u);
+    EXPECT_EQ(a.retryStorms[0].retries, 6);
+    EXPECT_EQ(a.retryStorms[1].rootId, 3u);
+    EXPECT_EQ(a.retryStorms[1].retries, 6);
+
+    SpanAnalysisOptions strict;
+    strict.retryStormK = 2;
+    EXPECT_EQ(analyzeSpans(parse(text), strict).retryStorms.size(), 3u);
+}
+
+TEST(WritePerfettoJson, CoversEverySpanOnSeparateTracks)
+{
+    // Two overlapping requests must land on different tracks.
+    const SpanForest forest = parse(spanLine("host_read", 1, 0, 0, 100)
+                                    + spanLine("read_op", 2, 1, 0, 50)
+                                    + spanLine("host_read", 3, 0, 50, 100)
+                                    + spanLine("read_op", 4, 3, 50, 50));
+    std::ostringstream os;
+    writePerfettoJson(forest, os);
+    const util::JsonValue doc = util::parseJson(os.str());
+    const util::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array.size(), 4u);
+    for (const util::JsonValue &e : events->array) {
+        EXPECT_EQ(e.find("ph")->string, "X");
+        ASSERT_NE(e.find("tid"), nullptr);
+    }
+    // DFS order: first tree then second; tracks differ.
+    EXPECT_EQ(events->array[0].find("name")->string, "host_read");
+    EXPECT_EQ(events->array[1].find("name")->string, "read_op");
+    EXPECT_EQ(events->array[0].find("tid")->number,
+              events->array[1].find("tid")->number);
+    EXPECT_NE(events->array[0].find("tid")->number,
+              events->array[2].find("tid")->number);
+}
+
+TEST(WriteAnalysisJson, SerializesOneValidDocument)
+{
+    const TraceAnalysis a = analyzeSpans(
+        parse(spanLine("read_session", 1, 0, 0, 10, "\"attempts\": 7")
+              + summaryLine(1, 2)));
+    std::ostringstream os;
+    writeAnalysisJson(a, os);
+    const util::JsonValue doc = util::parseJson(os.str());
+    EXPECT_EQ(doc.find("spans")->number, 1.0);
+    EXPECT_EQ(doc.find("dropped_spans")->number, 2.0);
+    EXPECT_EQ(doc.find("summary_matches")->boolean, true);
+    ASSERT_EQ(doc.find("retry_storms")->array.size(), 1u);
+    EXPECT_EQ(doc.find("retry_storms")->array[0].find("retries")->number,
+              6.0);
+}
+
+} // namespace
+} // namespace flash::trace

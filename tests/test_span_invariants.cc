@@ -1,0 +1,196 @@
+/**
+ * @file
+ * End-to-end span-tree invariants on real traces: a fig13-style
+ * chip-level smoke run and an SSD trace replay. Checks zero orphans,
+ * zero structural violations, bit-exact agreement between the
+ * analyzer's per-root-class totals and the runs' latency metrics, and
+ * byte-identical serialization at every thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/characterization.hh"
+#include "core/evaluator.hh"
+#include "ecc/ecc_model.hh"
+#include "ssd/ssd_sim.hh"
+#include "trace/msr_workloads.hh"
+#include "trace/span_analysis.hh"
+#include "test_support.hh"
+
+namespace flash
+{
+namespace
+{
+
+class SpanInvariantTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        chip = std::make_unique<nand::Chip>(test::mediumTlcGeometry(),
+                                            nand::tlcVoltageParams(), 888);
+        core::CharOptions opt;
+        opt.sentinel.ratio = 0.01; // medium geometry: keep ~370 sentinels
+        opt.wordlineStride = 4;
+        const core::FactoryCharacterizer characterizer(opt);
+        tables = std::make_unique<core::Characterization>(
+            characterizer.run(*chip));
+        overlay = core::makeOverlay(chip->geometry(), opt.sentinel);
+
+        chip->programBlock(1, 9, overlay);
+        chip->setPeCycles(1, 5000);
+        chip->age(1, 8760.0, 25.0);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        tables.reset();
+        chip.reset();
+    }
+
+    /** Run one policy over the block, spans on; serialized trace. */
+    static std::string
+    runWithSpans(const core::ReadPolicy &policy, int threads,
+                 std::size_t capacity, core::PolicyBlockStats *stats_out,
+                 util::SpanTrace *trace_out = nullptr)
+    {
+        const ecc::EccModel ecc(ecc::EccConfig{16384, 120});
+        util::SpanTrace spans(capacity);
+        const auto stats = core::evaluateBlock(
+            *chip, 1, policy, ecc, overlay, core::LatencyParams{}, -1, 4,
+            threads, 0, nullptr, &spans);
+        if (stats_out)
+            *stats_out = stats;
+        std::ostringstream os;
+        spans.writeJsonLines(os);
+        if (trace_out)
+            *trace_out = spans;
+        return os.str();
+    }
+
+    static trace::TraceAnalysis
+    analyzed(const std::string &text)
+    {
+        std::istringstream is(text);
+        return trace::analyzeSpans(trace::parseSpanTrace(is));
+    }
+
+    static std::unique_ptr<nand::Chip> chip;
+    static std::unique_ptr<core::Characterization> tables;
+    static nand::SentinelOverlay overlay;
+};
+
+std::unique_ptr<nand::Chip> SpanInvariantTest::chip;
+std::unique_ptr<core::Characterization> SpanInvariantTest::tables;
+nand::SentinelOverlay SpanInvariantTest::overlay;
+
+TEST_F(SpanInvariantTest, CoreTraceMatchesMetricsBitExactly)
+{
+    core::SentinelPolicy policy(*tables, chip->model().defaultVoltages());
+    core::PolicyBlockStats stats;
+    const trace::TraceAnalysis a = analyzed(
+        runWithSpans(policy, 1, util::SpanTrace::kDefaultCapacity, &stats));
+
+    EXPECT_EQ(a.orphanCount, 0u);
+    EXPECT_EQ(a.duplicateCount, 0u);
+    EXPECT_TRUE(a.summaryMatches);
+    EXPECT_EQ(a.violationCount, 0u)
+        << (a.violations.empty() ? "" : a.violations.front());
+    EXPECT_EQ(static_cast<int>(a.rootCount), stats.sessions);
+
+    // The root durations are the very sessionLatencyUs values the
+    // metrics accumulated, serialized round-trip exact and summed in
+    // the same order: the totals must agree to the last bit.
+    const util::LatencyHistogram *h =
+        stats.metrics.findHistogram("read.latency_us");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(a.rootTotalUs.at("read_session"), h->sum());
+    EXPECT_EQ(a.rootStats.at("read_session").at("count"),
+              static_cast<double>(h->count()));
+}
+
+TEST_F(SpanInvariantTest, VendorTraceAlsoHoldsInvariants)
+{
+    core::VendorRetryPolicy vendor(chip->model());
+    core::PolicyBlockStats stats;
+    const trace::TraceAnalysis a = analyzed(
+        runWithSpans(vendor, 1, util::SpanTrace::kDefaultCapacity, &stats));
+    EXPECT_EQ(a.orphanCount, 0u);
+    EXPECT_EQ(a.violationCount, 0u)
+        << (a.violations.empty() ? "" : a.violations.front());
+    const util::LatencyHistogram *h =
+        stats.metrics.findHistogram("read.latency_us");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(a.rootTotalUs.at("read_session"), h->sum());
+}
+
+TEST_F(SpanInvariantTest, SerializationIsThreadCountInvariant)
+{
+    core::VendorRetryPolicy vendor(chip->model());
+    const std::string t1 =
+        runWithSpans(vendor, 1, util::SpanTrace::kDefaultCapacity, nullptr);
+    EXPECT_EQ(t1, runWithSpans(vendor, 2, util::SpanTrace::kDefaultCapacity,
+                               nullptr));
+    EXPECT_EQ(t1, runWithSpans(vendor, 4, util::SpanTrace::kDefaultCapacity,
+                               nullptr));
+}
+
+TEST_F(SpanInvariantTest, OverflowKeepsTreesCompleteAndCounted)
+{
+    core::VendorRetryPolicy vendor(chip->model());
+    util::SpanTrace spans(0);
+    const std::string text = runWithSpans(vendor, 1, 8, nullptr, &spans);
+    EXPECT_GT(spans.droppedSpans(), 0u);
+
+    // Whatever survived parses into complete trees: dropping whole
+    // sessions never leaves dangling parent links.
+    const trace::TraceAnalysis a = analyzed(text);
+    EXPECT_EQ(a.orphanCount, 0u);
+    EXPECT_TRUE(a.summaryMatches);
+    EXPECT_EQ(a.droppedSpans, spans.droppedSpans());
+    EXPECT_EQ(a.violationCount, 0u);
+}
+
+TEST(SsdSpanInvariants, TraceMatchesRequestLatenciesBitExactly)
+{
+    ssd::SsdConfig cfg;
+    ssd::SsdTiming timing;
+    ssd::FixedReadCost cost(3);
+    util::SpanTrace spans;
+    ssd::SsdSim sim(cfg, timing, cost, 1);
+    sim.setSpanTrace(&spans);
+
+    const auto spec = trace::msrWorkload("hm_0");
+    const ssd::SimReport report =
+        sim.run(trace::generateTrace(spec, 4000, 42));
+
+    std::ostringstream os;
+    spans.writeJsonLines(os);
+    std::istringstream is(os.str());
+    const trace::TraceAnalysis a =
+        trace::analyzeSpans(trace::parseSpanTrace(is));
+
+    EXPECT_EQ(a.orphanCount, 0u);
+    EXPECT_EQ(a.duplicateCount, 0u);
+    EXPECT_TRUE(a.summaryMatches);
+    EXPECT_EQ(a.violationCount, 0u)
+        << (a.violations.empty() ? "" : a.violations.front());
+
+    const util::LatencyHistogram *rh =
+        report.metrics.findHistogram("ssd.read.request_latency_us");
+    const util::LatencyHistogram *wh =
+        report.metrics.findHistogram("ssd.write.request_latency_us");
+    ASSERT_NE(rh, nullptr);
+    ASSERT_NE(wh, nullptr);
+    EXPECT_EQ(a.rootTotalUs.at("host_read"), rh->sum());
+    EXPECT_EQ(a.rootTotalUs.at("host_write"), wh->sum());
+    EXPECT_EQ(a.rootCount, rh->count() + wh->count());
+}
+
+} // namespace
+} // namespace flash

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/metrics.hh"
+#include "util/span_trace.hh"
+#include "util/trace_log.hh"
+
+namespace flash::util
+{
+namespace
+{
+
+std::vector<std::string>
+linesOf(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** A three-span session: read_session -> {attempt, xfer}. */
+SpanBuffer
+sessionBuffer(double start)
+{
+    SpanBuffer sb;
+    const int root = sb.begin("read_session");
+    const int attempt = sb.begin("attempt", root);
+    sb.num(attempt, "n", 1.0);
+    const int xfer = sb.begin("xfer", root);
+    sb.time(root, start, 55.0);
+    sb.time(attempt, start, 35.0);
+    sb.time(xfer, start + 35.0, 20.0);
+    return sb;
+}
+
+TEST(SpanBuffer, RecordsCausalOrderAndAttributes)
+{
+    SpanBuffer sb;
+    const int root = sb.begin("read_session");
+    const int child = sb.begin("attempt", root);
+    sb.num(child, "sense_ops", 3.0);
+    sb.str(root, "policy", "sentinel");
+    sb.time(child, 10.0, 25.0);
+
+    EXPECT_EQ(sb.size(), 2);
+    EXPECT_EQ(sb.rec(root).parent, -1);
+    EXPECT_EQ(sb.rec(child).parent, root);
+    EXPECT_EQ(sb.numAttr(child, "sense_ops"), 3.0);
+    EXPECT_EQ(sb.numAttr(child, "absent", -1.0), -1.0);
+    EXPECT_EQ(sb.rec(root).strVal, "sentinel");
+    EXPECT_EQ(sb.rec(child).startUs, 10.0);
+    EXPECT_EQ(sb.rec(child).durUs, 25.0);
+
+    sb.clear();
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(SpanTrace, EmitRebasesToDenseGlobalIds)
+{
+    SpanTrace trace;
+    EXPECT_TRUE(trace.emit(sessionBuffer(0.0)));
+    EXPECT_TRUE(trace.emit(sessionBuffer(55.0)));
+    EXPECT_EQ(trace.spans(), 6u);
+    EXPECT_EQ(trace.droppedSpans(), 0u);
+
+    std::ostringstream os;
+    trace.writeJsonLines(os);
+    const auto lines = linesOf(os.str());
+    ASSERT_EQ(lines.size(), 7u); // 6 spans + summary
+
+    // Ids are dense and 1-based; session-local parent links resolve
+    // to the rebased ids, roots carry parent 0.
+    for (std::size_t i = 0; i < 6; ++i) {
+        const JsonValue v = parseJson(lines[i]);
+        ASSERT_TRUE(v.isObject()) << lines[i];
+        ASSERT_NE(v.find("id"), nullptr);
+        EXPECT_EQ(v.find("id")->number, static_cast<double>(i + 1));
+    }
+    EXPECT_EQ(parseJson(lines[0]).find("parent")->number, 0.0);
+    EXPECT_EQ(parseJson(lines[1]).find("parent")->number, 1.0);
+    EXPECT_EQ(parseJson(lines[2]).find("parent")->number, 1.0);
+    EXPECT_EQ(parseJson(lines[3]).find("parent")->number, 0.0);
+    EXPECT_EQ(parseJson(lines[4]).find("parent")->number, 4.0);
+    EXPECT_EQ(parseJson(lines[5]).find("parent")->number, 4.0);
+
+    const JsonValue summary = parseJson(lines[6]);
+    ASSERT_NE(summary.find("span_summary"), nullptr);
+    EXPECT_EQ(summary.find("spans")->number, 6.0);
+    EXPECT_EQ(summary.find("dropped_spans")->number, 0.0);
+}
+
+TEST(SpanTrace, OverflowDropsWholeSessionsAndCounts)
+{
+    SpanTrace trace(4);
+    EXPECT_EQ(trace.capacity(), 4u);
+    EXPECT_TRUE(trace.emit(sessionBuffer(0.0)));   // 3 spans kept
+    EXPECT_FALSE(trace.emit(sessionBuffer(55.0))); // 3 > remaining 1
+    EXPECT_EQ(trace.spans(), 3u);
+    EXPECT_EQ(trace.droppedSpans(), 3u);
+
+    // A later session that still fits is kept: sessions drop whole,
+    // never span-by-span.
+    SpanBuffer one;
+    one.begin("read_session");
+    EXPECT_TRUE(trace.emit(one));
+    EXPECT_EQ(trace.spans(), 4u);
+    EXPECT_EQ(trace.droppedSpans(), 3u);
+
+    std::ostringstream os;
+    trace.writeJsonLines(os);
+    const auto lines = linesOf(os.str());
+    ASSERT_FALSE(lines.empty());
+    const JsonValue summary = parseJson(lines.back());
+    EXPECT_EQ(summary.find("spans")->number, 4.0);
+    EXPECT_EQ(summary.find("dropped_spans")->number, 3.0);
+}
+
+TEST(TraceLog, BoundedSinkCountsDroppedEvents)
+{
+    std::ostringstream os;
+    TraceLog log(os, 2);
+    log.event("a", {{"x", 1.0}});
+    log.event("b", {{"x", 2.0}});
+    log.event("c", {{"x", 3.0}});
+    EXPECT_EQ(log.events(), 2u);
+    EXPECT_EQ(log.droppedEvents(), 1u);
+    EXPECT_EQ(linesOf(os.str()).size(), 2u);
+}
+
+TEST(TraceLog, UnboundedSinkNeverDrops)
+{
+    std::ostringstream os;
+    TraceLog log(os);
+    for (int i = 0; i < 100; ++i)
+        log.event("e", {{"i", static_cast<double>(i)}});
+    EXPECT_EQ(log.events(), 100u);
+    EXPECT_EQ(log.droppedEvents(), 0u);
+}
+
+TEST(JsonEscape, RoundTripsControlAndNonAsciiStrings)
+{
+    const std::vector<std::string> cases = {
+        "plain",
+        "quote \" backslash \\ slash /",
+        "ctrl \x01\x02\x1f tab\tnewline\n",
+        std::string("nul\0byte", 8),
+        "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac", // UTF-8 passes through
+    };
+    for (const std::string &s : cases) {
+        const std::string doc = "\"" + jsonEscape(s) + "\"";
+        const JsonValue v = parseJson(doc);
+        ASSERT_EQ(v.type, JsonValue::Type::String) << doc;
+        EXPECT_EQ(v.string, s) << doc;
+    }
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes)
+{
+    EXPECT_EQ(parseJson("\"\\u0041\"").string, "A");
+    EXPECT_EQ(parseJson("\"\\u00e9\"").string, "\xc3\xa9");
+    EXPECT_EQ(parseJson("\"\\u65e5\"").string, "\xe6\x97\xa5");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(parseJson("\"\\ud83d\\ude00\"").string, "\xf0\x9f\x98\x80");
+}
+
+TEST(WriteJsonValue, IntegralValuesStayGreppable)
+{
+    std::ostringstream os;
+    writeJsonValue(os, 42.0);
+    EXPECT_EQ(os.str(), "42");
+
+    std::ostringstream frac;
+    writeJsonValue(frac, 0.1);
+    EXPECT_EQ(parseJson(frac.str()).number, 0.1);
+}
+
+} // namespace
+} // namespace flash::util

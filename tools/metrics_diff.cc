@@ -2,15 +2,18 @@
  * @file
  * Compare two metrics JSON exports with tolerances.
  *
- *   metrics_diff A.json B.json [--rel R] [--abs A] [--quiet]
+ *   metrics_diff A.json B.json [--rel R] [--abs A] [--max-report N]
+ *                [--quiet]
  *
  * Walks both documents; every numeric leaf must satisfy
  * |a - b| <= abs + rel * max(|a|, |b|); strings/booleans must match
  * exactly; keys must exist on both sides. Prints one line per
- * difference (path, values, delta) and exits 1 when any survive the
- * tolerances, 0 otherwise. Defaults are exact comparison (rel = abs
- * = 0), the right setting for the deterministic exports; pass
- * tolerances when comparing across configurations.
+ * difference (path, values, delta) up to the first N differing keys
+ * (--max-report, default 20; later differences are counted but not
+ * printed) and exits 1 when any survive the tolerances, 0 otherwise.
+ * Defaults are exact comparison (rel = abs = 0), the right setting
+ * for the deterministic exports; pass tolerances when comparing
+ * across configurations.
  */
 
 #include <cmath>
@@ -33,6 +36,7 @@ struct Options
 {
     double rel = 0.0;
     double abs = 0.0;
+    std::size_t maxReport = 20;
     bool quiet = false;
 };
 
@@ -53,7 +57,7 @@ struct DiffState
     bool
     quietLimitHit() const
     {
-        return opt.quiet || differences > 200;
+        return opt.quiet || differences > opt.maxReport;
     }
 };
 
@@ -151,7 +155,7 @@ void
 usage()
 {
     std::cerr << "usage: metrics_diff A.json B.json [--rel R] [--abs A] "
-                 "[--quiet]\n";
+                 "[--max-report N] [--quiet]\n";
     std::exit(2);
 }
 
@@ -168,6 +172,8 @@ main(int argc, char **argv)
             opt.rel = std::atof(argv[++i]);
         } else if (!std::strcmp(argv[i], "--abs") && i + 1 < argc) {
             opt.abs = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--max-report") && i + 1 < argc) {
+            opt.maxReport = static_cast<std::size_t>(std::atol(argv[++i]));
         } else if (!std::strcmp(argv[i], "--quiet")) {
             opt.quiet = true;
         } else if (!file_a) {

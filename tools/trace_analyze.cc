@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Span-trace analyzer / exporter.
+ *
+ *   trace_analyze TRACE.jsonl [--report OUT.json] [--perfetto OUT.json]
+ *                 [--retry-k K] [--fail-on-drops] [--quiet]
+ *
+ * Rebuilds the span trees of a `--trace-spans` file, verifies them
+ * (zero orphans, zero duplicate ids, interval nesting, child-sum
+ * bounds, summary-line consistency), prints the per-request latency
+ * breakdown — total and tail (>= p99) critical-path self-time per
+ * span class — and flags retry storms (sessions with >= K retries).
+ *
+ * --report writes the full analysis as one JSON object; --perfetto
+ * writes a Chrome/Perfetto traceEvents file (open at ui.perfetto.dev)
+ * and re-parses it as a self-check. Exit codes: 0 clean, 1 when any
+ * orphan/duplicate/violation survives (or spans were dropped and
+ * --fail-on-drops is set), 2 on usage or I/O errors.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "trace/span_analysis.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+using namespace flash;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cerr << "usage: trace_analyze TRACE.jsonl [--report OUT.json] "
+                 "[--perfetto OUT.json] [--retry-k K] [--fail-on-drops] "
+                 "[--quiet]\n";
+    std::exit(2);
+}
+
+void
+printMap(const char *title, const std::map<std::string, double> &m)
+{
+    std::cout << title << '\n';
+    double total = 0.0;
+    for (const auto &[cls, us] : m)
+        total += us;
+    for (const auto &[cls, us] : m) {
+        std::cout << "  " << cls << ": " << util::jsonNumber(us) << " us ("
+                  << util::jsonNumber(total > 0.0 ? 100.0 * us / total
+                                                  : 0.0)
+                  << "%)\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *trace_path = nullptr;
+    const char *report_path = nullptr;
+    const char *perfetto_path = nullptr;
+    trace::SpanAnalysisOptions options;
+    bool fail_on_drops = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--report") && i + 1 < argc) {
+            report_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--perfetto") && i + 1 < argc) {
+            perfetto_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--retry-k") && i + 1 < argc) {
+            options.retryStormK = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--fail-on-drops")) {
+            fail_on_drops = true;
+        } else if (!std::strcmp(argv[i], "--quiet")) {
+            quiet = true;
+        } else if (!trace_path) {
+            trace_path = argv[i];
+        } else {
+            usage();
+        }
+    }
+    if (!trace_path || options.retryStormK < 1)
+        usage();
+
+    try {
+        std::ifstream in(trace_path);
+        util::fatalIf(!in, std::string("cannot open ") + trace_path);
+        const trace::SpanForest forest = trace::parseSpanTrace(in);
+        const trace::TraceAnalysis analysis =
+            trace::analyzeSpans(forest, options);
+
+        if (!quiet) {
+            std::cout << analysis.spanCount << " spans, "
+                      << analysis.rootCount << " roots, "
+                      << analysis.orphanCount << " orphans, "
+                      << analysis.duplicateCount << " duplicates, "
+                      << analysis.droppedSpans << " dropped\n";
+            for (const auto &[cls, stats] : analysis.rootStats) {
+                std::cout << cls << ": count "
+                          << static_cast<std::uint64_t>(
+                                 stats.at("count"))
+                          << ", total "
+                          << util::jsonNumber(
+                                 analysis.rootTotalUs.at(cls))
+                          << " us, p50 "
+                          << util::jsonNumber(stats.at("p50_us"))
+                          << " us, p99 "
+                          << util::jsonNumber(stats.at("p99_us"))
+                          << " us, p999 "
+                          << util::jsonNumber(stats.at("p999_us"))
+                          << " us\n";
+            }
+            printMap("critical path (all requests):",
+                     analysis.criticalPathUs);
+            printMap("critical path (tail, >= p99):",
+                     analysis.tailCriticalPathUs);
+            if (!analysis.tailDominantClass.empty()) {
+                std::cout << "tail dominated by: "
+                          << analysis.tailDominantClass << '\n';
+            }
+            std::cout << analysis.retryStorms.size()
+                      << " retry storm(s) (>= " << options.retryStormK
+                      << " retries)\n";
+            constexpr std::size_t kMaxStormsPrinted = 10;
+            for (std::size_t i = 0;
+                 i < analysis.retryStorms.size() && i < kMaxStormsPrinted;
+                 ++i) {
+                std::cout << "  root id " << analysis.retryStorms[i].rootId
+                          << ": " << analysis.retryStorms[i].retries
+                          << " retries\n";
+            }
+            if (analysis.retryStorms.size() > kMaxStormsPrinted) {
+                std::cout << "  ... and "
+                          << analysis.retryStorms.size()
+                        - kMaxStormsPrinted
+                          << " more (see --report)\n";
+            }
+            for (const auto &v : analysis.violations)
+                std::cout << "violation: " << v << '\n';
+            if (analysis.violationCount
+                > analysis.violations.size()) {
+                std::cout << "... and "
+                          << analysis.violationCount
+                        - analysis.violations.size()
+                          << " more violation(s)\n";
+            }
+        }
+
+        if (report_path) {
+            std::ofstream out(report_path);
+            util::fatalIf(!out,
+                          std::string("cannot write ") + report_path);
+            trace::writeAnalysisJson(analysis, out);
+        }
+        if (perfetto_path) {
+            std::ostringstream buf;
+            trace::writePerfettoJson(forest, buf);
+            // Self-check: the export must be one valid JSON document
+            // with a traceEvents array covering every span (orphan
+            // subtrees are unreachable and excused).
+            const util::JsonValue doc = util::parseJson(buf.str());
+            const util::JsonValue *events = doc.find("traceEvents");
+            util::fatalIf(!events
+                              || events->type
+                                  != util::JsonValue::Type::Array
+                              || (analysis.orphanCount == 0
+                                  && events->array.size()
+                                      != analysis.spanCount),
+                          "perfetto export failed self-check");
+            std::ofstream out(perfetto_path);
+            util::fatalIf(!out,
+                          std::string("cannot write ") + perfetto_path);
+            out << buf.str();
+        }
+
+        const bool bad = analysis.orphanCount > 0
+            || analysis.duplicateCount > 0 || analysis.violationCount > 0
+            || !analysis.summaryMatches
+            || (fail_on_drops && analysis.droppedSpans > 0);
+        if (bad && !quiet)
+            std::cout << "FAIL\n";
+        return bad ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::cerr << "trace_analyze: " << e.what() << '\n';
+        return 2;
+    }
+}
