@@ -5,13 +5,18 @@
  * scheme.
  */
 
+#include <cmath>
 #include <fstream>
 #include <memory>
+#include <optional>
 
 #include "bench_support.hh"
 #include "core/policy_metrics.hh"
 #include "core/read_policy.hh"
+#include "core/sentinel_probe.hh"
+#include "core/voltage_cache.hh"
 #include "ecc/ecc_model.hh"
+#include "nandsim/read_seq.hh"
 #include "ssd/health_monitor.hh"
 #include "util/span_trace.hh"
 
@@ -22,9 +27,10 @@ main(int argc, char **argv)
 {
     const int threads = bench::threadsArg(argc, argv);
     const std::string metrics_out = bench::metricsOutArg(argc, argv);
-    const std::string trace_out = bench::traceOutArg(argc, argv);
     const std::string trace_spans = bench::traceSpansArg(argc, argv);
     const std::string health_out = bench::healthOutArg(argc, argv);
+    const double scrub_interval = bench::scrubIntervalArg(argc, argv);
+    const int scrub_budget = bench::scrubBudgetArg(argc, argv, 16);
     bench::header("Figure 13",
                   "read retries per wordline, current flash vs sentinel "
                   "(TLC, P/E 5000 + 1 y, MSB page)",
@@ -65,13 +71,6 @@ main(int argc, char **argv)
     core::VendorRetryPolicy vendor(chip.model());
     core::SentinelPolicy sentinel(tables, chip.model().defaultVoltages());
 
-    std::ofstream trace_file;
-    std::unique_ptr<util::TraceLog> trace_log;
-    if (!trace_out.empty()) {
-        trace_file.open(trace_out);
-        util::fatalIf(!trace_file, "trace-out: cannot open " + trace_out);
-        trace_log = std::make_unique<util::TraceLog>(trace_file);
-    }
     std::unique_ptr<util::SpanTrace> span_trace;
     if (!trace_spans.empty()) {
         const std::size_t cap = bench::spanCapacityArg(argc, argv);
@@ -81,12 +80,53 @@ main(int argc, char **argv)
 
     const auto vs = core::evaluateBlock(chip, bench::kEvalBlock, vendor,
                                         ecc_model, overlay, lat, -1, 1,
-                                        threads, 0, trace_log.get(),
-                                        span_trace.get());
+                                        threads, 0, span_trace.get());
     const auto ss = core::evaluateBlock(chip, bench::kEvalBlock, sentinel,
                                         ecc_model, overlay, lat, -1, 1,
-                                        threads, 0, trace_log.get(),
-                                        span_trace.get());
+                                        threads, 0, span_trace.get());
+
+    // --scrub-interval enables the chip-level analogue of the SSD
+    // scrubber: spend the scan budget on sentinel-only probe reads
+    // across the block, average the inferred offset, and pre-warm the
+    // voltage cache the way the background scrubber re-warms blocks
+    // between host reads. Cached sessions depend on read order, so the
+    // warmed evaluation is serial (threads=1) like every
+    // cache-attached run.
+    core::VoltageCache scrub_cache;
+    std::optional<core::PolicyBlockStats> ws;
+    int probe_count = 0;
+    double probe_rber = 0.0;
+    int probe_offset = 0;
+    if (scrub_interval > 0.0) {
+        const core::InferenceEngine engine(tables,
+                                           chip.model().defaultVoltages());
+        const nand::ReadClock probe_clock(0x73637275);
+        const int wl_count = chip.geometry().wordlinesPerBlock();
+        const int stride = std::max(1, wl_count / scrub_budget);
+        double offset_sum = 0.0;
+        for (int wl = 0; wl < wl_count && probe_count < scrub_budget;
+             wl += stride) {
+            const auto p = core::probeSentinel(
+                chip, bench::kEvalBlock, wl, engine, overlay,
+                probe_clock.at(bench::kEvalBlock, wl, 0));
+            offset_sum += p.sentinelOffset;
+            probe_rber += p.errorRate;
+            ++probe_count;
+        }
+        probe_rber /= probe_count;
+        probe_offset = static_cast<int>(
+            std::lround(offset_sum / probe_count));
+        scrub_cache.rewarm(bench::kEvalBlock,
+                           core::epochOf(chip.blockAge(bench::kEvalBlock)),
+                           probe_offset);
+        core::SentinelPolicy warmed(tables,
+                                    chip.model().defaultVoltages());
+        warmed.attachCache(&scrub_cache);
+        ws = core::evaluateBlock(chip, bench::kEvalBlock, warmed,
+                                 ecc_model, overlay, lat, -1, 1, 1, 0,
+                                 span_trace.get());
+        scrub_cache.exportMetrics(ws->metrics);
+    }
 
     if (span_trace) {
         std::ofstream spans_file(trace_spans);
@@ -100,9 +140,11 @@ main(int argc, char **argv)
     }
 
     if (!metrics_out.empty()) {
-        core::savePolicyMetricsJson(metrics_out,
-                                    {{vendor.name(), vs.metrics},
-                                     {sentinel.name(), ss.metrics}});
+        std::vector<core::PolicyMetricsRun> runs{
+            {vendor.name(), vs.metrics}, {sentinel.name(), ss.metrics}};
+        if (ws)
+            runs.push_back({"sentinel+scrub", ws->metrics});
+        core::savePolicyMetricsJson(metrics_out, runs);
     }
 
     util::TextTable table;
@@ -138,6 +180,22 @@ main(int argc, char **argv)
               << util::fmtPct(1.0
                               - ss.latencyUs.mean() / vs.latencyUs.mean())
               << " lower)\n";
+
+    if (ws) {
+        const auto cs = scrub_cache.stats();
+        std::cout << "\nscrub probe: " << probe_count
+                  << " sentinel-only reads, mean sentinel RBER "
+                  << util::fmtPct(probe_rber) << ", rewarmed offset "
+                  << probe_offset << " DAC\n";
+        std::cout << "sentinel+scrub: mean retries "
+                  << util::fmt(ws->retries.mean(), 2) << " (vs "
+                  << util::fmt(ss.retries.mean(), 2)
+                  << " cold), latency "
+                  << util::fmt(ws->latencyUs.mean(), 0) << " us (vs "
+                  << util::fmt(ss.latencyUs.mean(), 0)
+                  << " us cold), cache hits " << cs.hits << "/"
+                  << (cs.hits + cs.misses + cs.stales) << '\n';
+    }
 
     bench::footer("sentinel removes most retries; current flash needs "
                   "many-step staircases on most wordlines");

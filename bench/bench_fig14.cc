@@ -15,9 +15,11 @@
 #include "core/read_policy.hh"
 #include "core/voltage_cache.hh"
 #include "ssd/health_monitor.hh"
+#include "ssd/scrubber/scrubber.hh"
 #include "ssd/ssd_sim.hh"
 #include "trace/msr_workloads.hh"
 #include "util/span_trace.hh"
+#include "util/stats.hh"
 
 using namespace flash;
 
@@ -26,11 +28,15 @@ main(int argc, char **argv)
 {
     const int threads = bench::threadsArg(argc, argv);
     const std::string metrics_out = bench::metricsOutArg(argc, argv);
-    const std::string trace_out = bench::traceOutArg(argc, argv);
     const std::string trace_spans = bench::traceSpansArg(argc, argv);
     const std::string health_out = bench::healthOutArg(argc, argv);
     const double health_interval = bench::healthIntervalArg(argc, argv);
     const bool use_cache = bench::flagArg(argc, argv, "voltage-cache");
+    const double scrub_interval = bench::scrubIntervalArg(argc, argv);
+    const int scrub_budget = bench::scrubBudgetArg(argc, argv, 64);
+    const double refresh_rber = bench::refreshRberArg(argc, argv);
+    const int requests = bench::requestsArg(argc, argv, 60000);
+    const bool use_scrub = scrub_interval > 0.0;
     bench::header("Figure 14",
                   "SSD-level read latency reduction on 8 MSR-like traces",
                   "74% average read-latency reduction");
@@ -84,6 +90,30 @@ main(int argc, char **argv)
                   << "\n\n";
     }
 
+    // --scrub-interval: an A/B comparison against the same sentinel
+    // SSD with the background scrubber running. The "warm" per-read
+    // cost — what a foreground read pays when the scrubber has just
+    // re-warmed its block's cache entry — is measured like the
+    // --voltage-cache source: a first pass fills a fresh voltage
+    // cache (stores on success), a second pass on a different read
+    // stream samples the warmed-up distribution. Both passes are
+    // serial because cached sessions depend on read order.
+    core::VoltageCache warm_cache;
+    std::optional<ssd::EmpiricalReadCost> wcost;
+    if (use_scrub) {
+        core::SentinelPolicy warmed(tables, chip.model().defaultVoltages());
+        warmed.attachCache(&warm_cache);
+        ssd::measureReadCost(chip, bench::kEvalBlock, warmed, ecc_model,
+                             overlay, msb, 2, 1, 2);
+        wcost = ssd::measureReadCost(chip, bench::kEvalBlock, warmed,
+                                     ecc_model, overlay, msb, 2, 1, 3);
+        std::cout << "scrub warm cost (cache pre-warmed, as after a probe): "
+                  << util::fmt(wcost->meanRetries(), 2) << " retries / "
+                  << util::fmt(wcost->meanSenseOps(), 1) << " senses / "
+                  << util::fmt(wcost->meanAssistReads(), 2)
+                  << " assist reads per read\n\n";
+    }
+
     ssd::SsdConfig cfg; // default 8-channel SSD
     ssd::SsdTiming timing;
     // Retries re-sense on-die: per-attempt fixed cost is small; the
@@ -92,13 +122,14 @@ main(int argc, char **argv)
     timing.decodeUs = 2.0;
 
     util::TextTable table;
-    if (use_cache) {
-        table.header({"trace", "reads", "current flash (us)",
-                      "sentinel (us)", "sentinel+cache (us)", "reduction"});
-    } else {
-        table.header({"trace", "reads", "current flash (us)",
-                      "sentinel (us)", "reduction"});
-    }
+    std::vector<std::string> columns{"trace", "reads",
+                                     "current flash (us)", "sentinel (us)"};
+    if (use_cache)
+        columns.push_back("sentinel+cache (us)");
+    if (use_scrub)
+        columns.push_back("sentinel+scrub (us)");
+    columns.push_back("reduction");
+    table.header(columns);
 
     std::ofstream metrics_file;
     if (!metrics_out.empty()) {
@@ -106,13 +137,6 @@ main(int argc, char **argv)
         util::fatalIf(!metrics_file,
                       "metrics-out: cannot open " + metrics_out);
         metrics_file << "{\"workloads\": {";
-    }
-    std::ofstream trace_file;
-    std::unique_ptr<util::TraceLog> trace_log;
-    if (!trace_out.empty()) {
-        trace_file.open(trace_out);
-        util::fatalIf(!trace_file, "trace-out: cannot open " + trace_out);
-        trace_log = std::make_unique<util::TraceLog>(trace_file);
     }
     std::unique_ptr<util::SpanTrace> span_trace;
     if (!trace_spans.empty()) {
@@ -137,24 +161,43 @@ main(int argc, char **argv)
         health->probeBlock(chip, bench::kEvalBlock, &tables, overlay, 0.0);
     }
 
+    // One scrub device serves every workload (probes are keyed by
+    // per-block counters of the per-run scrubber, so sharing the
+    // device keeps runs independent).
+    std::optional<ssd::ChipScrubDevice> scrub_device;
+    if (use_scrub)
+        scrub_device.emplace(chip, tables, overlay, bench::kEvalBlock);
+
+    // Mean retries per page read of one replay (attempts minus the
+    // mandatory first read).
+    const auto mean_retries = [](const ssd::SimReport &r) {
+        const double ops =
+            static_cast<double>(r.metrics.counter("ssd.read.page_ops"));
+        return ops == 0.0
+            ? 0.0
+            : static_cast<double>(r.metrics.counter("ssd.read.attempts"))
+                / ops
+                - 1.0;
+    };
+
     double sum = 0.0;
     int n = 0;
+    double ab_off_retry = 0.0, ab_on_retry = 0.0;
+    double ab_off_p99 = 0.0, ab_on_p99 = 0.0;
+    std::uint64_t warm_reads = 0, cold_reads = 0;
+    ssd::ScrubberStats scrub_total;
     for (const auto &w : trace::msrWorkloads()) {
         auto spec = w;
         spec.meanInterarrivalUs *= 0.5; // one busy volume per SSD
-        const auto tr = trace::generateTrace(spec, 60000, 42);
+        const auto tr = trace::generateTrace(spec, requests, 42);
 
-        if (trace_log)
-            trace_log->event("workload", {{"name", w.name}}, {});
         ssd::SsdSim sim_v(cfg, timing, vcost, 1);
-        sim_v.setTraceLog(trace_log.get());
         sim_v.setSpanTrace(span_trace.get());
         sim_v.setHealthMonitor(health.get());
         if (health)
             health->beginRun(w.name + "." + vcost.name());
         const auto rv = sim_v.run(tr);
         ssd::SsdSim sim_s(cfg, timing, scost, 1);
-        sim_s.setTraceLog(trace_log.get());
         sim_s.setSpanTrace(span_trace.get());
         sim_s.setHealthMonitor(health.get());
         if (health)
@@ -163,12 +206,58 @@ main(int argc, char **argv)
         std::optional<ssd::SimReport> rc;
         if (ccost) {
             ssd::SsdSim sim_c(cfg, timing, *ccost, 1);
-            sim_c.setTraceLog(trace_log.get());
             sim_c.setSpanTrace(span_trace.get());
             sim_c.setHealthMonitor(health.get());
             if (health)
                 health->beginRun(w.name + "." + ccost->name());
             rc = sim_c.run(tr);
+        }
+
+        // The scrub-on arm: same trace, same cold cost source, plus a
+        // fresh scrubber + voltage cache (schedule state is part of
+        // the run) feeding the warm cost source.
+        std::optional<ssd::SimReport> ro;
+        if (use_scrub) {
+            ssd::ScrubberConfig scfg;
+            scfg.intervalUs = scrub_interval;
+            scfg.probeBudget = scrub_budget;
+            scfg.warmUs = 10.0e6;
+            if (refresh_rber > 0.0)
+                scfg.refreshRber = refresh_rber;
+            scfg.validate();
+            core::VoltageCache scrub_cache;
+            ssd::Scrubber scrub(scfg, *scrub_device, &scrub_cache);
+            ssd::SsdSim sim_o(cfg, timing, scost, 1);
+            sim_o.setSpanTrace(span_trace.get());
+            sim_o.setHealthMonitor(health.get());
+            sim_o.setWarmReadCost(&*wcost);
+            sim_o.attachScrubber(&scrub);
+            if (health) {
+                health->attachScrubber(&scrub);
+                health->beginRun(w.name + ".sentinel+scrub");
+            }
+            ro = sim_o.run(tr);
+            ro->policy = "sentinel+scrub";
+            if (health)
+                health->attachScrubber(nullptr);
+
+            ab_off_retry += mean_retries(rs);
+            ab_on_retry += mean_retries(*ro);
+            ab_off_p99 += util::percentile(rs.readLatencies, 0.99);
+            ab_on_p99 += util::percentile(ro->readLatencies, 0.99);
+            warm_reads += ro->metrics.counter("scrub.read.warm");
+            cold_reads += ro->metrics.counter("scrub.read.cold");
+            const ssd::ScrubberStats &st = scrub.stats();
+            scrub_total.scans += st.scans;
+            scrub_total.probes += st.probes;
+            scrub_total.probesSkipped += st.probesSkipped;
+            scrub_total.rewarms += st.rewarms;
+            scrub_total.refreshQueued += st.refreshQueued;
+            scrub_total.refreshPages += st.refreshPages;
+            scrub_total.refreshErases += st.refreshErases;
+            scrub_total.refreshDone += st.refreshDone;
+            scrub_total.refreshStalled += st.refreshStalled;
+            scrub_total.refreshDropped += st.refreshDropped;
         }
 
         if (metrics_file.is_open()) {
@@ -184,6 +273,11 @@ main(int argc, char **argv)
                              << "\": ";
                 rc->writeJson(metrics_file);
             }
+            if (ro) {
+                metrics_file << ", \"" << util::jsonEscape(ro->policy)
+                             << "\": ";
+                ro->writeJson(metrics_file);
+            }
             metrics_file << "}";
         }
 
@@ -191,22 +285,18 @@ main(int argc, char **argv)
             1.0 - rs.readLatencyUs.mean() / rv.readLatencyUs.mean();
         sum += red;
         ++n;
-        if (rc) {
-            table.row({w.name,
-                       util::fmtInt(static_cast<std::int64_t>(
-                           rv.readLatencyUs.count())),
-                       util::fmt(rv.readLatencyUs.mean(), 0),
-                       util::fmt(rs.readLatencyUs.mean(), 0),
-                       util::fmt(rc->readLatencyUs.mean(), 0),
-                       util::fmtPct(red)});
-        } else {
-            table.row({w.name,
-                       util::fmtInt(static_cast<std::int64_t>(
-                           rv.readLatencyUs.count())),
-                       util::fmt(rv.readLatencyUs.mean(), 0),
-                       util::fmt(rs.readLatencyUs.mean(), 0),
-                       util::fmtPct(red)});
-        }
+        std::vector<std::string> row{
+            w.name,
+            util::fmtInt(
+                static_cast<std::int64_t>(rv.readLatencyUs.count())),
+            util::fmt(rv.readLatencyUs.mean(), 0),
+            util::fmt(rs.readLatencyUs.mean(), 0)};
+        if (rc)
+            row.push_back(util::fmt(rc->readLatencyUs.mean(), 0));
+        if (ro)
+            row.push_back(util::fmt(ro->readLatencyUs.mean(), 0));
+        row.push_back(util::fmtPct(red));
+        table.row(row);
     }
     if (metrics_file.is_open()) {
         metrics_file << "}}\n";
@@ -231,6 +321,26 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\nmean read-latency reduction: " << util::fmtPct(sum / n)
               << " (paper: 74%)\n";
+
+    if (use_scrub) {
+        std::cout
+            << "\nscrub A/B over " << n
+            << " traces (sentinel, scrub off -> on):\n"
+            << "  mean retries/read:     "
+            << util::fmt(ab_off_retry / n, 3) << " -> "
+            << util::fmt(ab_on_retry / n, 3) << '\n'
+            << "  mean p99 read latency: "
+            << util::fmt(ab_off_p99 / n, 0) << " us -> "
+            << util::fmt(ab_on_p99 / n, 0) << " us\n"
+            << "  warm reads " << warm_reads << "/"
+            << (warm_reads + cold_reads) << ", probes "
+            << scrub_total.probes << " (" << scrub_total.probesSkipped
+            << " skipped), rewarms " << scrub_total.rewarms
+            << ", refresh " << scrub_total.refreshQueued << " queued / "
+            << scrub_total.refreshDone << " done / "
+            << scrub_total.refreshPages << " pages / "
+            << scrub_total.refreshErases << " erases\n";
+    }
 
     bench::footer("sentinel wins on every trace by a roughly uniform "
                   "factor; the absolute reduction is bounded by our "

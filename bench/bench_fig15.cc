@@ -10,6 +10,8 @@
 
 #include "bench_support.hh"
 #include "core/policy_metrics.hh"
+#include "core/sentinel_probe.hh"
+#include "nandsim/read_seq.hh"
 #include "ssd/health_monitor.hh"
 
 using namespace flash;
@@ -20,6 +22,9 @@ main(int argc, char **argv)
     const int threads = bench::threadsArg(argc, argv);
     const std::string metrics_out = bench::metricsOutArg(argc, argv);
     const std::string health_out = bench::healthOutArg(argc, argv);
+    const double scrub_interval = bench::scrubIntervalArg(argc, argv);
+    const int scrub_budget = bench::scrubBudgetArg(argc, argv, 16);
+    const double refresh_rber = bench::refreshRberArg(argc, argv);
     bench::header("Figure 15",
                   "% wordlines achieving the optimal voltage after "
                   "inference / calibration (QLC, P/E 3000 + 1 y)",
@@ -115,6 +120,52 @@ main(int argc, char **argv)
               << util::fmtPct(sum_c / 15)
               << " (paper: 83% / 94%)  [" << wordlines
               << " wordlines sampled]\n";
+
+    // --scrub-interval: sweep sentinel-only probe reads across the
+    // retention checkpoints the health monitor charts, showing what a
+    // background scrubber would observe on this chip (mean sentinel
+    // RBER and inferred offset per checkpoint) and, with
+    // --refresh-rber, where its refresh threshold would fire. Runs
+    // last: it re-ages the block.
+    if (scrub_interval > 0.0) {
+        const core::InferenceEngine engine(tables,
+                                           chip.model().defaultVoltages());
+        const nand::ReadClock probe_clock(0x73637275);
+        const int wl_count = chip.geometry().wordlinesPerBlock();
+        const int stride = std::max(1, wl_count / scrub_budget);
+
+        util::TextTable probes;
+        probes.header({"retention (h)", "probes", "mean RBER",
+                       "mean offset (DAC)",
+                       refresh_rber > 0.0 ? "refresh?" : ""});
+        std::cout << "\nscrub probe sweep (" << scrub_budget
+                  << " sentinel-only reads per checkpoint):\n";
+        int checkpoint = 0;
+        for (const double hours : {0.0, 24.0, 720.0, bench::kOneYearHours}) {
+            bench::ageBlock(chip, bench::kEvalBlock, 3000, hours);
+            double rber = 0.0, offset = 0.0;
+            int count = 0;
+            for (int wl = 0; wl < wl_count && count < scrub_budget;
+                 wl += stride) {
+                const auto p = core::probeSentinel(
+                    chip, bench::kEvalBlock, wl, engine, overlay,
+                    probe_clock.at(bench::kEvalBlock, wl,
+                                   static_cast<std::uint64_t>(checkpoint)));
+                rber += p.errorRate;
+                offset += p.sentinelOffset;
+                ++count;
+            }
+            rber /= count;
+            offset /= count;
+            probes.row({util::fmt(hours, 0), util::fmtInt(count),
+                        util::fmtPct(rber), util::fmt(offset, 1),
+                        refresh_rber > 0.0
+                            ? (rber >= refresh_rber ? "yes" : "no")
+                            : ""});
+            ++checkpoint;
+        }
+        probes.print(std::cout);
+    }
 
     bench::footer("inference alone finds the optimum for the large "
                   "majority of wordlines and calibration lifts nearly "

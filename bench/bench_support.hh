@@ -112,13 +112,6 @@ metricsOutArg(int argc, char **argv)
     return stringArg(argc, argv, "metrics-out");
 }
 
-/** `--trace-out FILE`: path of the JSON-lines event trace. */
-inline std::string
-traceOutArg(int argc, char **argv)
-{
-    return stringArg(argc, argv, "trace-out");
-}
-
 /** `--trace-spans FILE`: path of the causal span trace. */
 inline std::string
 traceSpansArg(int argc, char **argv)
@@ -158,6 +151,66 @@ healthIntervalArg(int argc, char **argv)
     const double us = std::atof(v.c_str());
     util::fatalIf(us <= 0.0, "--health-interval: bad interval");
     return us;
+}
+
+/**
+ * `--scrub-interval US`: simulated microseconds between background
+ * scrub scans (0 when absent: scrubbing off).
+ */
+inline double
+scrubIntervalArg(int argc, char **argv)
+{
+    const std::string v = stringArg(argc, argv, "scrub-interval");
+    if (v.empty())
+        return 0.0;
+    const double us = std::atof(v.c_str());
+    util::fatalIf(us <= 0.0, "--scrub-interval: bad interval");
+    return us;
+}
+
+/**
+ * `--scrub-budget N`: probe reads per scrub scan; @p fallback when
+ * absent.
+ */
+inline int
+scrubBudgetArg(int argc, char **argv, int fallback)
+{
+    const std::string v = stringArg(argc, argv, "scrub-budget");
+    if (v.empty())
+        return fallback;
+    const int n = std::atoi(v.c_str());
+    util::fatalIf(n < 1, "--scrub-budget: bad budget");
+    return n;
+}
+
+/**
+ * `--refresh-rber R`: probed sentinel-RBER threshold that queues a
+ * block for refresh (0 when absent: refresh off).
+ */
+inline double
+refreshRberArg(int argc, char **argv)
+{
+    const std::string v = stringArg(argc, argv, "refresh-rber");
+    if (v.empty())
+        return 0.0;
+    const double r = std::atof(v.c_str());
+    util::fatalIf(r <= 0.0 || r > 1.0, "--refresh-rber: bad threshold");
+    return r;
+}
+
+/**
+ * `--requests N`: trace records per synthesized workload; @p fallback
+ * when absent. CI shrinks this so span-gated replays stay cheap.
+ */
+inline int
+requestsArg(int argc, char **argv, int fallback)
+{
+    const std::string v = stringArg(argc, argv, "requests");
+    if (v.empty())
+        return fallback;
+    const int n = std::atoi(v.c_str());
+    util::fatalIf(n < 1, "--requests: bad count");
+    return n;
 }
 
 /** Factory characterization with a bench-friendly sample budget. */

@@ -64,7 +64,7 @@ evaluateBlock(const nand::Chip &chip, int block, const ReadPolicy &policy,
               const std::optional<nand::SentinelOverlay> &overlay,
               const LatencyParams &latency, int page, int wl_stride,
               int threads, std::uint64_t read_stream,
-              util::TraceLog *trace, util::SpanTrace *spans)
+              util::SpanTrace *spans)
 {
     util::fatalIf(wl_stride < 1, "evaluateBlock: bad stride");
     util::fatalIf(threads < 1, "evaluateBlock: bad thread count");
@@ -104,18 +104,6 @@ evaluateBlock(const nand::Chip &chip, int block, const ReadPolicy &policy,
         stats.latencyUs.add(latency_us);
         stats.retriesPerWordline.push_back(session.retries());
         recordSession(stats.metrics, session, latency_us);
-        if (trace) {
-            trace->event(
-                "read_session", {{"policy", policy.name()}},
-                {{"wordline", static_cast<double>(wls[i])},
-                 {"page", static_cast<double>(target_page)},
-                 {"attempts", static_cast<double>(session.attempts)},
-                 {"sense_ops", static_cast<double>(session.senseOps)},
-                 {"assist_reads",
-                  static_cast<double>(session.assistReads)},
-                 {"success", session.success ? 1.0 : 0.0},
-                 {"latency_us", latency_us}});
-        }
         if (spans) {
             util::SpanBuffer &sb = bufs[i];
             sb.str(0, "policy", policy.name());

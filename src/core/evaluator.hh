@@ -17,7 +17,6 @@
 #include "core/read_policy.hh"
 #include "util/span_trace.hh"
 #include "util/stats.hh"
-#include "util/trace_log.hh"
 
 namespace flash::core
 {
@@ -53,9 +52,6 @@ struct PolicyBlockStats
  * @param wl_stride Sample every Nth wordline.
  * @param threads Worker threads (1 = serial).
  * @param read_stream Read-noise stream key (see nand::ReadClock).
- * @param trace Optional legacy event log: one "read_session" event
- *        per sampled wordline, emitted in wordline order (deprecated,
- *        see util::trace_log).
  * @param spans Optional causal span sink: one "read_session" root per
  *        sampled wordline with "attempt" / "assist_read" /
  *        "calib_step" / "xfer" children on a virtual timeline laid
@@ -73,7 +69,6 @@ PolicyBlockStats evaluateBlock(const nand::Chip &chip, int block,
                                const LatencyParams &latency, int page = -1,
                                int wl_stride = 1, int threads = 1,
                                std::uint64_t read_stream = 0,
-                               util::TraceLog *trace = nullptr,
                                util::SpanTrace *spans = nullptr);
 
 /**

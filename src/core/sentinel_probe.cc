@@ -1,0 +1,29 @@
+#include "core/sentinel_probe.hh"
+
+#include "core/error_difference.hh"
+
+namespace flash::core
+{
+
+SentinelProbe
+probeSentinel(const nand::Chip &chip, int block, int wl,
+              const InferenceEngine &engine,
+              const nand::SentinelOverlay &overlay, std::uint64_t read_seq)
+{
+    const int k_s = engine.sentinelBoundary();
+    const nand::WordlineSnapshot sent =
+        sentinelSnapshot(chip, block, wl, overlay, read_seq);
+    const SentinelErrors errs = countSentinelErrors(
+        sent, k_s, engine.defaults()[static_cast<std::size_t>(k_s)]);
+
+    SentinelProbe probe;
+    probe.dRate = errs.dRate();
+    probe.errorRate = errs.sentinels
+        ? (static_cast<double>(errs.up) + static_cast<double>(errs.down))
+            / static_cast<double>(errs.sentinels)
+        : 0.0;
+    probe.sentinelOffset = engine.infer(probe.dRate).sentinelOffset;
+    return probe;
+}
+
+} // namespace flash::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sentinel-only probe read: the maintenance-path entry point into the
+ * paper's inference machinery.
+ *
+ * A probe is exactly one single-voltage assist read of a wordline's
+ * sentinel cells (command overhead plus one sense op — no page
+ * transfer, no ECC decode): it measures the sentinel error-difference
+ * rate at the default sentinel voltage and runs the same
+ * InferenceEngine the SentinelPolicy uses to turn it into a full
+ * voltage offset. The background scrubber issues probes during idle
+ * windows to re-warm the per-block VoltageCache before foreground
+ * reads miss; the health monitor uses the same entry point for its
+ * per-block drift telemetry.
+ */
+
+#ifndef SENTINELFLASH_CORE_SENTINEL_PROBE_HH
+#define SENTINELFLASH_CORE_SENTINEL_PROBE_HH
+
+#include <cstdint>
+
+#include "core/inference.hh"
+#include "nandsim/chip.hh"
+
+namespace flash::core
+{
+
+/** What one sentinel-only probe read observed. */
+struct SentinelProbe
+{
+    /**
+     * Signed sentinel error-difference rate at the default sentinel
+     * voltage, (up - down) / sentinels — the quantity the inference
+     * tables map to a voltage offset.
+     */
+    double dRate = 0.0;
+
+    /**
+     * Unsigned sentinel error rate, (up + down) / sentinels. Because
+     * the sentinel pattern is known, this is an exact bit-error rate
+     * of the sentinel region and serves as the scrubber's cheap RBER
+     * estimate of the wordline.
+     */
+    double errorRate = 0.0;
+
+    /** Sentinel offset inferred from dRate via the factory tables. */
+    int sentinelOffset = 0;
+};
+
+/**
+ * Issue one sentinel-only probe read of (block, wl): sense the
+ * sentinel cells once at the default sentinel voltage (noise keyed by
+ * @p read_seq), count the error difference, and infer the sentinel
+ * offset through @p engine — the identical inference step
+ * SentinelPolicy::read performs after a failed foreground read, minus
+ * the foreground read.
+ */
+SentinelProbe probeSentinel(const nand::Chip &chip, int block, int wl,
+                            const InferenceEngine &engine,
+                            const nand::SentinelOverlay &overlay,
+                            std::uint64_t read_seq);
+
+} // namespace flash::core
+
+#endif // SENTINELFLASH_CORE_SENTINEL_PROBE_HH

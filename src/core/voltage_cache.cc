@@ -32,10 +32,19 @@ VoltageCache::store(int block, const BlockEpoch &epoch, int sentinel_offset)
 }
 
 void
+VoltageCache::rewarm(int block, const BlockEpoch &epoch, int sentinel_offset)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[block] = Entry{epoch, sentinel_offset};
+    ++stats_.rewarms;
+}
+
+void
 VoltageCache::invalidate(int block)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.erase(block);
+    if (entries_.erase(block) > 0)
+        ++stats_.invalidations;
 }
 
 std::size_t
@@ -57,7 +66,9 @@ VoltageCache::exportMetrics(util::MetricsRegistry &metrics) const
 {
     const Stats s = stats();
     metrics.add("cache.hit", s.hits);
+    metrics.add("cache.invalidate", s.invalidations);
     metrics.add("cache.miss", s.misses);
+    metrics.add("cache.rewarm", s.rewarms);
     metrics.add("cache.stale", s.stales);
     metrics.add("cache.store", s.stores);
 }

@@ -25,6 +25,8 @@
 #ifndef SENTINELFLASH_CORE_VOLTAGE_CACHE_HH
 #define SENTINELFLASH_CORE_VOLTAGE_CACHE_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -43,12 +45,29 @@ struct BlockEpoch
     double retentionHours = 0.0;
     double retentionTempC = 25.0;
 
+    /**
+     * Two real-valued aging parameters count as the same epoch when
+     * they agree to a relative 1e-6 (absolute below 1.0). Aging
+     * checkpoints that save and restore retention state reproduce the
+     * hours/temperature through floating-point round trips; exact
+     * `double` equality would let that rounding spuriously invalidate
+     * live cache entries, while any physically meaningful drift is
+     * orders of magnitude above the tolerance.
+     */
+    static bool
+    nearlyEqual(double a, double b)
+    {
+        const double tol =
+            1e-6 * std::max({1.0, std::fabs(a), std::fabs(b)});
+        return std::fabs(a - b) <= tol;
+    }
+
     bool
     operator==(const BlockEpoch &o) const
     {
         return peCycles == o.peCycles
-            && retentionHours == o.retentionHours
-            && retentionTempC == o.retentionTempC;
+            && nearlyEqual(retentionHours, o.retentionHours)
+            && nearlyEqual(retentionTempC, o.retentionTempC);
     }
 };
 
@@ -67,10 +86,12 @@ class VoltageCache
     /** Lifetime counters. */
     struct Stats
     {
-        std::uint64_t hits = 0;   ///< valid entry found
-        std::uint64_t misses = 0; ///< no entry for the block
-        std::uint64_t stales = 0; ///< entry dropped on epoch change
-        std::uint64_t stores = 0; ///< offsets recorded
+        std::uint64_t hits = 0;    ///< valid entry found
+        std::uint64_t misses = 0;  ///< no entry for the block
+        std::uint64_t stales = 0;  ///< entry dropped on epoch change
+        std::uint64_t stores = 0;  ///< offsets recorded by read sessions
+        std::uint64_t rewarms = 0; ///< offsets recorded by scrub probes
+        std::uint64_t invalidations = 0; ///< live entries dropped
     };
 
     /**
@@ -83,7 +104,17 @@ class VoltageCache
     /** Record the offset of a successful read session. */
     void store(int block, const BlockEpoch &epoch, int sentinel_offset);
 
-    /** Drop the entry of @p block (e.g. the FTL erased it). */
+    /**
+     * Record an offset inferred by a background scrub probe. Same
+     * effect as store() but counted separately, so hit-rate analysis
+     * can attribute warm entries to the scrubber vs foreground reads.
+     */
+    void rewarm(int block, const BlockEpoch &epoch, int sentinel_offset);
+
+    /**
+     * Drop the entry of @p block (e.g. the FTL erased it); counts an
+     * invalidation only when a live entry was actually dropped.
+     */
     void invalidate(int block);
 
     /** Number of live entries. */
@@ -94,7 +125,8 @@ class VoltageCache
 
     /**
      * Add the counters to a metrics registry as cache.hit,
-     * cache.miss, cache.stale and cache.store.
+     * cache.miss, cache.stale, cache.store, cache.rewarm and
+     * cache.invalidate.
      */
     void exportMetrics(util::MetricsRegistry &metrics) const;
 

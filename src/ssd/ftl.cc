@@ -64,6 +64,104 @@ Ftl::freeBlocks(int plane) const
         planes_[static_cast<std::size_t>(plane)].freeList.size());
 }
 
+int
+Ftl::blockValidPages(int plane, int block) const
+{
+    util::fatalIf(plane < 0 || plane >= config_.totalPlanes() || block < 0
+                      || block >= config_.blocksPerPlane,
+                  "ftl: block out of range");
+    return planes_[static_cast<std::size_t>(plane)]
+        .blocks[static_cast<std::size_t>(block)]
+        .validPages;
+}
+
+bool
+Ftl::refreshCandidate(int plane, int block) const
+{
+    util::fatalIf(plane < 0 || plane >= config_.totalPlanes() || block < 0
+                      || block >= config_.blocksPerPlane,
+                  "ftl: block out of range");
+    const Plane &pl = planes_[static_cast<std::size_t>(plane)];
+    return block != pl.activeBlock
+        && pl.blocks[static_cast<std::size_t>(block)].full(
+            config_.pagesPerBlock);
+}
+
+RefreshStep
+Ftl::refreshBlock(int plane, int block, int max_pages)
+{
+    util::fatalIf(plane < 0 || plane >= config_.totalPlanes() || block < 0
+                      || block >= config_.blocksPerPlane,
+                  "ftl: block out of range");
+
+    RefreshStep step;
+    Plane &pl = planes_[static_cast<std::size_t>(plane)];
+    Block &blk = pl.blocks[static_cast<std::size_t>(block)];
+
+    if (blk.nextPage == 0 && blk.validPages == 0) {
+        step.done = true; // already erased (free list / GC beat us)
+        return step;
+    }
+    if (block == pl.activeBlock || !blk.full(config_.pagesPerBlock)) {
+        step.busy = true;
+        return step;
+    }
+
+    for (int p = 0;
+         p < config_.pagesPerBlock && step.migratedPages < max_pages; ++p) {
+        if (block == pl.activeBlock)
+            break; // nested GC erased and re-activated the block
+        const std::int64_t lpn = blk.owner[static_cast<std::size_t>(p)];
+        if (lpn < 0)
+            continue;
+        WriteEffect sub;
+        const PhysAddr addr = allocate(plane, sub);
+        step.gcMigratedPages += sub.gcMigratedPages;
+        step.gcErases += sub.gcErases;
+        // The allocation may have run GC, which can migrate or erase
+        // pages of this very block; only complete the move if the
+        // page still belongs to the LPN we saw (otherwise the freshly
+        // allocated page simply stays unused).
+        if (blk.owner[static_cast<std::size_t>(p)] != lpn)
+            continue;
+        blk.owner[static_cast<std::size_t>(p)] = -1;
+        --blk.validPages;
+        auto &dst = planes_[static_cast<std::size_t>(addr.plane)]
+                        .blocks[static_cast<std::size_t>(addr.block)];
+        dst.owner[static_cast<std::size_t>(addr.page)] = lpn;
+        ++dst.validPages;
+        map_[static_cast<std::size_t>(lpn)] = pack(addr);
+        ++stats_.migratedPages;
+        ++stats_.refreshPages;
+        ++step.migratedPages;
+    }
+
+    // Nested GC may have erased and even re-activated the block; in
+    // either case the refresh goal (data off, block recycled) is met.
+    if (block == pl.activeBlock) {
+        step.done = true;
+        return step;
+    }
+    if (blk.nextPage == 0 && blk.validPages == 0) {
+        step.done = true;
+        return step;
+    }
+    if (blk.validPages == 0) {
+        blk.owner.assign(static_cast<std::size_t>(config_.pagesPerBlock),
+                         -1);
+        blk.nextPage = 0;
+        blk.validPages = 0;
+        pl.freeList.push_back(block);
+        ++stats_.erases;
+        ++stats_.refreshErases;
+        step.erased = true;
+        step.done = true;
+        if (eraseHook_)
+            eraseHook_(plane, block);
+    }
+    return step;
+}
+
 void
 Ftl::checkInvariants() const
 {
@@ -204,6 +302,8 @@ Ftl::collectGarbage(int plane_idx, WriteEffect &effect)
     ++stats_.erases;
     ++effect.gcErases;
     effect.gcTriggered = true;
+    if (eraseHook_)
+        eraseHook_(plane_idx, victim);
 
     // Re-home the movers (within this plane).
     for (std::int64_t lpn : movers) {

@@ -12,6 +12,7 @@
 #define SENTINELFLASH_SSD_FTL_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ssd/config.hh"
@@ -38,6 +39,22 @@ struct WriteEffect
     int gcErases = 0;        ///< blocks erased by the GC
 };
 
+/**
+ * Outcome of one scrub-refresh step (see Ftl::refreshBlock). A
+ * refresh is incremental: each step migrates a bounded number of
+ * valid pages off the block; once none remain, the block is erased
+ * and returned to the free list.
+ */
+struct RefreshStep
+{
+    int migratedPages = 0;   ///< valid pages moved by this step
+    int gcMigratedPages = 0; ///< pages moved by GC nested in this step
+    int gcErases = 0;        ///< blocks erased by nested GC
+    bool erased = false;     ///< this step erased the refreshed block
+    bool done = false;       ///< block is empty and back on the free list
+    bool busy = false;       ///< block is active/filling; cannot refresh
+};
+
 /** FTL bookkeeping counters. */
 struct FtlStats
 {
@@ -45,6 +62,8 @@ struct FtlStats
     std::uint64_t gcRuns = 0;
     std::uint64_t migratedPages = 0;
     std::uint64_t erases = 0;
+    std::uint64_t refreshPages = 0;  ///< subset of migratedPages moved by refresh
+    std::uint64_t refreshErases = 0; ///< subset of erases issued by refresh
 
     /** Write amplification factor. */
     double
@@ -64,6 +83,14 @@ class Ftl
 {
   public:
     /**
+     * Called with (plane, block) immediately after any block erase —
+     * GC victim or refresh — so callers can drop per-block derived
+     * state (e.g. core::VoltageCache entries, scrub warmth). Invoked
+     * mid-operation: the hook must not call back into the FTL.
+     */
+    using EraseHook = std::function<void(int plane, int block)>;
+
+    /**
      * @param precondition When true, every logical page is mapped
      *        sequentially up front (a full drive), so reads always
      *        hit mapped pages and GC pressure is realistic.
@@ -75,6 +102,30 @@ class Ftl
 
     /** Write (or overwrite) a logical page. */
     WriteEffect write(std::int64_t lpn);
+
+    /**
+     * One incremental scrub-refresh step of (plane, block): migrate
+     * up to @p max_pages still-valid pages into the plane's free
+     * space (same mechanics and accounting as GC migration), then
+     * erase the block once it holds no valid data. The active block
+     * and still-filling blocks are reported busy; an already-free
+     * block reports done. Nested GC triggered by the migration
+     * allocations is propagated in the step so callers can charge
+     * its time.
+     */
+    RefreshStep refreshBlock(int plane, int block, int max_pages);
+
+    /** Valid pages currently held by (plane, block). */
+    int blockValidPages(int plane, int block) const;
+
+    /**
+     * Whether (plane, block) is refreshable now: fully written and
+     * not the plane's active block.
+     */
+    bool refreshCandidate(int plane, int block) const;
+
+    /** Install the post-erase hook (nullptr detaches). */
+    void setEraseHook(EraseHook hook) { eraseHook_ = std::move(hook); }
 
     /** Number of logical pages exported. */
     std::int64_t logicalPages() const { return logicalPages_; }
@@ -124,6 +175,7 @@ class Ftl
     std::vector<Plane> planes_;
     FtlStats stats_;
     std::uint64_t writeCursor_ = 0;
+    EraseHook eraseHook_;
 
     std::int64_t
     pack(const PhysAddr &a) const

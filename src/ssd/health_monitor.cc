@@ -6,8 +6,10 @@
 
 #include "core/error_difference.hh"
 #include "core/inference.hh"
+#include "core/sentinel_probe.hh"
 #include "nandsim/read_seq.hh"
 #include "nandsim/snapshot.hh"
+#include "ssd/scrubber/scrubber.hh"
 #include "util/logging.hh"
 
 namespace flash::ssd
@@ -118,6 +120,21 @@ HealthMonitor::ssdSnapshot(double t_us, const util::MetricsRegistry &metrics,
         field(*os_, "cache_stale_rate", rate(static_cast<double>(s.stales),
                                              lookups));
     }
+    if (scrub_ != nullptr && scrub_->enabled()) {
+        const ScrubberStats &st = scrub_->stats();
+        field(*os_, "scrub_probes", static_cast<double>(st.probes));
+        field(*os_, "scrub_rewarms", static_cast<double>(st.rewarms));
+        field(*os_, "scrub_refresh_done",
+              static_cast<double>(st.refreshDone));
+        field(*os_, "scrub_refresh_queue",
+              static_cast<double>(scrub_->refreshQueueDepth()));
+        field(*os_, "scrub_warm_fraction", scrub_->warmFraction(t_us));
+        const double warm =
+            static_cast<double>(metrics.counter("scrub.read.warm"));
+        const double cold =
+            static_cast<double>(metrics.counter("scrub.read.cold"));
+        field(*os_, "scrub_warm_read_rate", rate(warm, warm + cold));
+    }
     if (final_snapshot)
         *os_ << ", \"final\": 1";
     *os_ << "}\n";
@@ -151,21 +168,27 @@ HealthMonitor::probeBlock(const nand::Chip &chip, int block,
         nand::ReadSeq seq = clock.session(block, wl);
         const auto data = nand::WordlineSnapshot::dataRegion(
             chip, block, wl, seq.next());
-        const auto sent = core::sentinelSnapshot(chip, block, wl, overlay,
-                                                 seq.next());
         const double rber = data.pageRber(msb_page, defaults);
         rber_sum += rber;
         rber_max = std::max(rber_max, rber);
-        const double d = core::countSentinelErrors(
-            sent, k_s, defaults[static_cast<std::size_t>(k_s)]).dRate();
-        d_sum += d;
         if (engine) {
-            const int off = engine->infer(d).sentinelOffset;
-            off_sum += off;
+            // The very sentinel-only probe the background scrubber
+            // issues, on the same noise draw as the direct count.
+            const core::SentinelProbe p = core::probeSentinel(
+                chip, block, wl, *engine, overlay, seq.next());
+            d_sum += p.dRate;
+            off_sum += p.sentinelOffset;
             const std::size_t layer =
                 static_cast<std::size_t>(geom.layerOf(wl));
-            layer_sum[layer] += off;
+            layer_sum[layer] += p.sentinelOffset;
             ++layer_n[layer];
+        } else {
+            const auto sent = core::sentinelSnapshot(
+                chip, block, wl, overlay, seq.next());
+            d_sum += core::countSentinelErrors(
+                         sent, k_s,
+                         defaults[static_cast<std::size_t>(k_s)])
+                         .dRate();
         }
         ++sampled;
     }

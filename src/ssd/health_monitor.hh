@@ -8,7 +8,9 @@
  *    simulation — page reads in the window, retries / sense ops /
  *    assist reads per read (windowed deltas of the "ssd.read.*"
  *    counters), cumulative request-latency percentiles, and the
- *    inferred-voltage-cache hit/stale rates when a cache is attached.
+ *    inferred-voltage-cache hit/stale rates when a cache is attached,
+ *    and scrub progress (probes, rewarms, refresh queue, warm
+ *    fractions) when a scrubber is attached.
  *    Driven by SsdSim via setHealthMonitor(): onRequest() once per
  *    trace record, finishRun() for the closing snapshot.
  *
@@ -41,6 +43,8 @@
 namespace flash::ssd
 {
 
+class Scrubber;
+
 /** Knobs of the health time series. */
 struct HealthMonitorOptions
 {
@@ -67,6 +71,14 @@ class HealthMonitor
      * snapshots report (nullptr detaches).
      */
     void attachCache(const core::VoltageCache *cache) { cache_ = cache; }
+
+    /**
+     * Attach a background scrubber whose progress (probe / rewarm /
+     * refresh counters, refresh-queue depth, warm-block and warm-read
+     * fractions) the SSD snapshots report (nullptr detaches). Attach
+     * per run: the scrubber's lifetime is one SsdSim run.
+     */
+    void attachScrubber(const Scrubber *scrub) { scrub_ = scrub; }
 
     /**
      * Start a new observation run (e.g. one workload/policy pair).
@@ -104,6 +116,7 @@ class HealthMonitor
     std::ostream *os_;
     HealthMonitorOptions options_;
     const core::VoltageCache *cache_ = nullptr;
+    const Scrubber *scrub_ = nullptr;
     std::string context_;
     std::uint64_t records_ = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ssd/health_monitor.hh"
+#include "ssd/scrubber/scrubber.hh"
 
 namespace flash::ssd
 {
@@ -44,6 +45,8 @@ SimReport::writeJson(std::ostream &os) const
        << ", \"gc_runs\": " << ftl.gcRuns
        << ", \"migrated_pages\": " << ftl.migratedPages
        << ", \"erases\": " << ftl.erases
+       << ", \"refresh_pages\": " << ftl.refreshPages
+       << ", \"refresh_erases\": " << ftl.refreshErases
        << ", \"waf\": " << util::jsonNumber(ftl.waf()) << "}"
        << ", \"metrics\": ";
     metrics.writeJson(os);
@@ -69,16 +72,45 @@ SsdSim::channelOf(int plane) const
     return plane / planes_per_channel;
 }
 
-double
-SsdSim::readPageOp(double arrival, int plane, LatencyBreakdown &bd,
-                   util::SpanBuffer *sb, int parent)
+void
+SsdSim::attachScrubber(Scrubber *scrub)
 {
+    scrub_ = scrub;
+    if (scrub_ && scrub_->enabled()) {
+        ftl_.setEraseHook(
+            [this](int plane, int block) { scrub_->noteErase(plane, block); });
+    } else {
+        ftl_.setEraseHook(nullptr);
+    }
+}
+
+bool
+SsdSim::scrubActive() const
+{
+    return scrub_ != nullptr && scrub_->enabled();
+}
+
+double
+SsdSim::readPageOp(double arrival, const PhysAddr &addr,
+                   LatencyBreakdown &bd, util::SpanBuffer *sb, int parent)
+{
+    const int plane = addr.plane;
+
     // Same per-session model as core::sessionLatencyUs: every attempt
     // pays command overhead plus a decode try, an assist read is a
     // single-voltage sense (command overhead only; its sense op is
     // counted in senseOps), and the page crosses the channel once —
     // modelled below as the bus transfer.
-    const ReadCost cost = readCost_->sample(rng_);
+    //
+    // Blocks the scrubber probed recently sample the warm cost
+    // distribution (sessions seeded from the re-warmed voltage
+    // cache); everything else pays the cold distribution.
+    const bool scrub_on = scrubActive();
+    const bool warm = scrub_on && warmCost_ != nullptr
+        && scrub_->isWarm(plane, addr.block, arrival);
+    const ReadCost cost = (warm ? warmCost_ : readCost_)->sample(rng_);
+    if (scrub_on)
+        metrics_.add(warm ? "scrub.read.warm" : "scrub.read.cold");
     bd.senseUs = cost.senseOps * timing_.senseUs;
     bd.baseUs = (cost.attempts + cost.assistReads) * timing_.readBaseUs;
     bd.decodeUs = cost.attempts * timing_.decodeUs;
@@ -112,18 +144,6 @@ SsdSim::readPageOp(double arrival, int plane, LatencyBreakdown &bd,
     metrics_.observe("ssd.read.sense_us", bd.senseUs);
     metrics_.observe("ssd.read.decode_us", bd.decodeUs);
     metrics_.observe("ssd.read.xfer_us", bd.xferUs);
-    if (trace_) {
-        trace_->event("read_op",
-                      {{"t", arrival},
-                       {"plane", static_cast<double>(plane)},
-                       {"channel", static_cast<double>(ch)},
-                       {"queue_us", bd.queueUs},
-                       {"sense_us", bd.senseUs},
-                       {"base_us", bd.baseUs},
-                       {"decode_us", bd.decodeUs},
-                       {"xfer_us", bd.xferUs},
-                       {"latency_us", done - arrival}});
-    }
     if (sb) {
         const int op = sb->begin("read_op", parent);
         sb->num(op, "plane", static_cast<double>(plane));
@@ -183,18 +203,6 @@ SsdSim::writePageOp(double arrival, std::int64_t lpn, LatencyBreakdown &bd,
                      static_cast<std::uint64_t>(effect.gcErases));
         metrics_.observe("ssd.write.gc_stall_us", bd.gcUs);
     }
-    if (trace_) {
-        trace_->event("write_op",
-                      {{"t", arrival},
-                       {"lpn", static_cast<double>(lpn)},
-                       {"plane", static_cast<double>(plane)},
-                       {"channel", static_cast<double>(ch)},
-                       {"queue_us", bd.queueUs},
-                       {"xfer_us", bd.xferUs},
-                       {"gc_us", bd.gcUs},
-                       {"program_us", bd.flashUs},
-                       {"latency_us", done - arrival}});
-    }
     if (sb) {
         const int op = sb->begin("write_op", parent);
         sb->num(op, "lpn", static_cast<double>(lpn));
@@ -220,7 +228,23 @@ SsdSim::run(const std::vector<trace::TraceRecord> &trace)
         static_cast<std::int64_t>(config_.pageKb) * 1024;
     const std::int64_t logical_pages = ftl_.logicalPages();
 
+    const bool scrub_on = scrubActive();
+    ScrubHost scrub_host;
+    if (scrub_on) {
+        scrub_host.config = &config_;
+        scrub_host.timing = &timing_;
+        scrub_host.planeFree = &planeFree_;
+        scrub_host.ftl = &ftl_;
+        scrub_host.metrics = &metrics_;
+        scrub_host.spans = spans_;
+    }
+
     for (const auto &req : trace) {
+        // Background maintenance runs in the window up to this
+        // request's arrival — probes and refresh migration fill
+        // plane idle gaps before the request is dispatched.
+        if (scrub_on)
+            scrub_->maintain(scrub_host, req.timestampUs);
         const std::int64_t first =
             static_cast<std::int64_t>(req.offsetBytes) / page_bytes;
         const std::int64_t last =
@@ -241,8 +265,8 @@ SsdSim::run(const std::vector<trace::TraceRecord> &trace)
             util::SpanBuffer *op_sb = spans_ ? &sb : nullptr;
             if (req.isRead) {
                 const PhysAddr addr = ftl_.translate(lpn);
-                page_done = readPageOp(req.timestampUs, addr.plane, bd,
-                                       op_sb, root);
+                page_done = readPageOp(req.timestampUs, addr, bd, op_sb,
+                                       root);
                 ++report.pageReads;
             } else {
                 page_done = writePageOp(req.timestampUs, lpn, bd, op_sb,
@@ -260,15 +284,6 @@ SsdSim::run(const std::vector<trace::TraceRecord> &trace)
         } else {
             report.writeLatencyUs.add(latency);
             metrics_.observe("ssd.write.request_latency_us", latency);
-        }
-        if (trace_) {
-            trace_->event("request",
-                          {{"t", req.timestampUs},
-                           {"read", req.isRead ? 1.0 : 0.0},
-                           {"offset", static_cast<double>(req.offsetBytes)},
-                           {"size", static_cast<double>(req.sizeBytes)},
-                           {"pages", static_cast<double>(last - first)},
-                           {"latency_us", latency}});
         }
         if (spans_) {
             sb.num(root, "pages", static_cast<double>(last - first));

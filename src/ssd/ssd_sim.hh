@@ -11,7 +11,14 @@
  * Every page operation is decomposed into a LatencyBreakdown
  * (queueing / sense / transfer / decode / GC-stall components) that
  * feeds the run's metrics registry ("ssd.*" counters and histograms)
- * and, when attached, a JSON-lines event trace.
+ * and, when attached, a causal span trace.
+ *
+ * An optional background Scrubber (ssd/scrubber) runs in the gaps
+ * between requests: it probes blocks with sentinel-only assist reads
+ * during plane idle time, re-warms the inferred-voltage cache, and
+ * refreshes worn blocks through the FTL. Foreground reads of a block
+ * the scrubber has recently probed sample the (cheaper) warm
+ * read-cost source when one is attached.
  */
 
 #ifndef SENTINELFLASH_SSD_SSD_SIM_HH
@@ -27,12 +34,12 @@
 #include "util/metrics.hh"
 #include "util/span_trace.hh"
 #include "util/stats.hh"
-#include "util/trace_log.hh"
 
 namespace flash::ssd
 {
 
 class HealthMonitor;
+class Scrubber;
 
 /** Where the time of one page operation went. */
 struct LatencyBreakdown
@@ -93,14 +100,6 @@ class SsdSim
            ReadCostSource &read_cost, std::uint64_t seed);
 
     /**
-     * Attach a JSON-lines event trace: one "read_op" / "write_op"
-     * event per page operation with its LatencyBreakdown, plus one
-     * "request" event per trace record. Pass nullptr to detach. The
-     * log must outlive run().
-     */
-    void setTraceLog(util::TraceLog *trace) { trace_ = trace; }
-
-    /**
      * Attach a causal span sink: one "host_read" / "host_write" root
      * per trace record with a "read_op" / "write_op" child per page
      * operation, itself decomposed into "plane_wait" / "flash" /
@@ -120,6 +119,29 @@ class SsdSim
      */
     void setHealthMonitor(HealthMonitor *health) { health_ = health; }
 
+    /**
+     * Attach a background scrubber (nullptr detaches). The scrubber
+     * runs between requests inside run(); when enabled, the FTL's
+     * erase hook is routed to it so erased blocks lose their warmth
+     * and cache entries. One scrubber accompanies one run — construct
+     * a fresh one per simulation; it must outlive run(). A disabled
+     * scrubber (interval or probe budget 0) leaves the simulation
+     * byte-identical to running with none attached.
+     */
+    void attachScrubber(Scrubber *scrub);
+
+    /**
+     * Read-cost source sampled for blocks the scrubber currently
+     * keeps warm (typically measured with a pre-warmed voltage
+     * cache). Only consulted when an enabled scrubber is attached;
+     * cold blocks keep sampling the constructor's source. Must
+     * outlive run(); nullptr detaches.
+     */
+    void setWarmReadCost(ReadCostSource *warm) { warmCost_ = warm; }
+
+    /** The FTL (tests inspect invariants and refresh state). */
+    const Ftl &ftl() const { return ftl_; }
+
     /** Replay a trace and report latencies. */
     SimReport run(const std::vector<trace::TraceRecord> &trace);
 
@@ -127,8 +149,12 @@ class SsdSim
     /** Channel of a global plane index. */
     int channelOf(int plane) const;
 
-    double readPageOp(double arrival, int plane, LatencyBreakdown &bd,
-                      util::SpanBuffer *sb, int parent);
+    /** Whether an enabled scrubber is attached. */
+    bool scrubActive() const;
+
+    double readPageOp(double arrival, const PhysAddr &addr,
+                      LatencyBreakdown &bd, util::SpanBuffer *sb,
+                      int parent);
     double writePageOp(double arrival, std::int64_t lpn,
                        LatencyBreakdown &bd, util::SpanBuffer *sb,
                        int parent);
@@ -139,9 +165,10 @@ class SsdSim
     util::Rng rng_;
     Ftl ftl_;
     util::MetricsRegistry metrics_;
-    util::TraceLog *trace_ = nullptr;
     util::SpanTrace *spans_ = nullptr;
     HealthMonitor *health_ = nullptr;
+    Scrubber *scrub_ = nullptr;
+    ReadCostSource *warmCost_ = nullptr;
 
     std::vector<double> planeFree_;
     std::vector<double> channelFree_;

@@ -4,11 +4,11 @@
  *
  * A span is one timed step of the causal read path (host request,
  * page op, read session, retry attempt, assist read, calibration
- * step, transfer, ...), linked to its parent. Spans replace the flat
- * `read_session`/`read_op` events of the legacy trace (util::TraceLog,
- * still emittable via `--trace-out` for one more release) with full
- * parent-linked trees that tools/trace_analyze can rebuild, verify
- * and break down into per-request critical paths.
+ * step, transfer, scrub probe, refresh, ...), linked to its parent.
+ * Spans replaced the flat `read_session`/`read_op` events of the
+ * legacy `--trace-out` log (removed) with full parent-linked trees
+ * that tools/trace_analyze can rebuild, verify and break down into
+ * per-request critical paths.
  *
  * Determinism: span ids derive from the emission sequence, never from
  * wall clock or thread interleaving. Sessions record their spans into

@@ -8,7 +8,6 @@
 #include "util/json.hh"
 #include "util/metrics.hh"
 #include "util/rng.hh"
-#include "util/trace_log.hh"
 
 namespace flash
 {
@@ -210,26 +209,6 @@ TEST(MetricsRegistry, ExportIsNameOrderedAndStable)
     b.add("z", 1);
     EXPECT_EQ(a.toJson(), b.toJson());
     EXPECT_LT(a.toJson().find("\"a\""), a.toJson().find("\"z\""));
-}
-
-TEST(TraceLog, EmitsOneParsableObjectPerLine)
-{
-    std::ostringstream out;
-    util::TraceLog log(out);
-    log.event("read_op", {{"plane", 3.0}, {"latency_us", 123.456}});
-    log.event("request", {{"policy", "sentinel"}}, {{"t", 10.0}});
-    EXPECT_EQ(log.events(), 2u);
-
-    std::istringstream lines(out.str());
-    std::string line;
-    int n = 0;
-    while (std::getline(lines, line)) {
-        const auto doc = util::parseJson(line);
-        ASSERT_TRUE(doc.isObject()) << line;
-        EXPECT_NE(doc.find("event"), nullptr);
-        ++n;
-    }
-    EXPECT_EQ(n, 2);
 }
 
 } // namespace

@@ -63,7 +63,7 @@ class SpanInvariantTest : public ::testing::Test
         util::SpanTrace spans(capacity);
         const auto stats = core::evaluateBlock(
             *chip, 1, policy, ecc, overlay, core::LatencyParams{}, -1, 4,
-            threads, 0, nullptr, &spans);
+            threads, 0, &spans);
         if (stats_out)
             *stats_out = stats;
         std::ostringstream os;

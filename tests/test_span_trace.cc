@@ -7,7 +7,6 @@
 #include "util/json.hh"
 #include "util/metrics.hh"
 #include "util/span_trace.hh"
-#include "util/trace_log.hh"
 
 namespace flash::util
 {
@@ -120,28 +119,6 @@ TEST(SpanTrace, OverflowDropsWholeSessionsAndCounts)
     const JsonValue summary = parseJson(lines.back());
     EXPECT_EQ(summary.find("spans")->number, 4.0);
     EXPECT_EQ(summary.find("dropped_spans")->number, 3.0);
-}
-
-TEST(TraceLog, BoundedSinkCountsDroppedEvents)
-{
-    std::ostringstream os;
-    TraceLog log(os, 2);
-    log.event("a", {{"x", 1.0}});
-    log.event("b", {{"x", 2.0}});
-    log.event("c", {{"x", 3.0}});
-    EXPECT_EQ(log.events(), 2u);
-    EXPECT_EQ(log.droppedEvents(), 1u);
-    EXPECT_EQ(linesOf(os.str()).size(), 2u);
-}
-
-TEST(TraceLog, UnboundedSinkNeverDrops)
-{
-    std::ostringstream os;
-    TraceLog log(os);
-    for (int i = 0; i < 100; ++i)
-        log.event("e", {{"i", static_cast<double>(i)}});
-    EXPECT_EQ(log.events(), 100u);
-    EXPECT_EQ(log.droppedEvents(), 0u);
 }
 
 TEST(JsonEscape, RoundTripsControlAndNonAsciiStrings)

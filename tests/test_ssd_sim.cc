@@ -199,20 +199,31 @@ TEST(SsdSim, ReportCarriesMetricsAndSerializes)
     EXPECT_NE(doc.find("metrics"), nullptr);
 }
 
-TEST(SsdSim, TraceLogRecordsEveryOperation)
+TEST(SsdSim, SpanTraceRecordsEveryOperation)
 {
     FixedReadCost cost(4);
     SsdSim sim(smallConfig(), SsdTiming{}, cost, 1);
-    std::ostringstream out;
-    util::TraceLog log(out);
-    sim.setTraceLog(&log);
+    util::SpanTrace spans;
+    sim.setSpanTrace(&spans);
     sim.run(simpleTrace(10, true, 100.0, 4096));
-    // One "read_op" per page plus one "request" per trace record.
-    EXPECT_EQ(log.events(), 20u);
+
+    // One "host_read" root per trace record, one "read_op" child per
+    // page; every line (spans + summary) is valid JSON.
+    std::ostringstream out;
+    spans.writeJsonLines(out);
     std::istringstream lines(out.str());
     std::string line;
-    while (std::getline(lines, line))
-        EXPECT_TRUE(util::parseJson(line).isObject()) << line;
+    int roots = 0, ops = 0;
+    while (std::getline(lines, line)) {
+        const auto doc = util::parseJson(line);
+        ASSERT_TRUE(doc.isObject()) << line;
+        if (const auto *cls = doc.find("span")) {
+            roots += cls->string == "host_read";
+            ops += cls->string == "read_op";
+        }
+    }
+    EXPECT_EQ(roots, 10);
+    EXPECT_EQ(ops, 10);
 }
 
 TEST(SsdSim, ConstructorRejectsBadOrganization)

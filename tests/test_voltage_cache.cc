@@ -75,6 +75,72 @@ TEST(VoltageCache, InvalidateRemovesOnlyThatBlock)
     EXPECT_TRUE(cache.lookup(2, epoch).has_value());
 }
 
+TEST(VoltageCache, EpochComparisonToleratesFloatRoundTrips)
+{
+    // Aging checkpoints reproduce retention state through
+    // floating-point round trips; equality must absorb that rounding
+    // without absorbing real drift.
+    EXPECT_TRUE(BlockEpoch::nearlyEqual(0.0, 1e-7));
+    EXPECT_FALSE(BlockEpoch::nearlyEqual(0.0, 1e-5));
+    EXPECT_TRUE(BlockEpoch::nearlyEqual(8760.0, 8760.0 * (1.0 + 1e-9)));
+    EXPECT_FALSE(BlockEpoch::nearlyEqual(8760.0, 8761.0));
+
+    const BlockEpoch a{5000, 8760.0, 25.0};
+    const BlockEpoch jitter{5000, 8760.0 * (1.0 + 1e-12),
+                            25.0 * (1.0 - 1e-12)};
+    EXPECT_TRUE(a == jitter);
+    // P/E cycles are integral: off-by-one is a different epoch.
+    EXPECT_FALSE(a == (BlockEpoch{5001, 8760.0, 25.0}));
+
+    // A store/lookup round trip through jittered hours still hits.
+    VoltageCache cache;
+    cache.store(4, a, -9);
+    EXPECT_TRUE(cache.lookup(4, jitter).has_value());
+    EXPECT_EQ(cache.stats().stales, 0u);
+}
+
+TEST(VoltageCache, RewarmCountsSeparatelyFromStores)
+{
+    VoltageCache cache;
+    const BlockEpoch epoch{100, 10.0, 25.0};
+    cache.store(1, epoch, 3);
+    cache.rewarm(2, epoch, -4);
+    EXPECT_EQ(cache.stats().stores, 1u);
+    EXPECT_EQ(cache.stats().rewarms, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    // A rewarmed entry serves lookups exactly like a stored one.
+    EXPECT_EQ(cache.lookup(2, epoch).value_or(0), -4);
+
+    // Re-warming an existing entry overwrites it in place.
+    cache.rewarm(1, epoch, 7);
+    EXPECT_EQ(cache.stats().rewarms, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.lookup(1, epoch).value_or(0), 7);
+
+    util::MetricsRegistry metrics;
+    cache.exportMetrics(metrics);
+    EXPECT_EQ(metrics.counter("cache.store"), 1u);
+    EXPECT_EQ(metrics.counter("cache.rewarm"), 2u);
+}
+
+TEST(VoltageCache, InvalidationsCountOnlyLiveEntries)
+{
+    VoltageCache cache;
+    const BlockEpoch epoch{100, 10.0, 25.0};
+    cache.invalidate(9); // nothing cached: not an invalidation
+    EXPECT_EQ(cache.stats().invalidations, 0u);
+
+    cache.store(9, epoch, 2);
+    cache.invalidate(9);
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+    cache.invalidate(9); // already gone
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+
+    util::MetricsRegistry metrics;
+    cache.exportMetrics(metrics);
+    EXPECT_EQ(metrics.counter("cache.invalidate"), 1u);
+}
+
 TEST(VoltageCache, EpochOfReadsBlockAge)
 {
     nand::BlockAge age;
