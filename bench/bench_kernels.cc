@@ -76,11 +76,8 @@ volatile std::uint64_t g_sink; // defeat dead-code elimination
 int
 main(int argc, char **argv)
 {
-    int reps = 5;
-    const std::string reps_arg = bench::stringArg(argc, argv, "reps");
-    if (!reps_arg.empty())
-        reps = std::atoi(reps_arg.c_str());
-    util::fatalIf(reps < 1, "--reps: bad repetition count");
+    const int reps =
+        static_cast<int>(bench::longArg(argc, argv, "reps", 5, 1, 100000));
     const std::string json_out = bench::stringArg(argc, argv, "json");
 
     bench::header("Kernel microbenchmark",

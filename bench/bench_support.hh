@@ -11,6 +11,7 @@
 #ifndef SENTINELFLASH_BENCH_BENCH_SUPPORT_HH
 #define SENTINELFLASH_BENCH_BENCH_SUPPORT_HH
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -54,6 +55,110 @@ makeQlcChip(int blocks = 2)
 }
 
 /**
+ * Reject a malformed command line: usage message on stderr, exit
+ * status 2 (the conventional CLI usage-error code, distinct from a
+ * harness failure).
+ */
+[[noreturn]] inline void
+usageError(const std::string &msg)
+{
+    std::cerr << "error: " << msg << '\n'
+              << "usage: flag values are `--name VALUE` or `--name=VALUE`;"
+                 " numeric flags\nreject non-numeric, trailing-garbage and"
+                 " out-of-range values.\n";
+    std::exit(2);
+}
+
+/**
+ * Strict integer parse of one flag value: the whole string must be a
+ * base-10 integer in [@p lo, @p hi]. Anything else exits with status
+ * 2 (std::atoi would silently turn `--threads abc` into 0).
+ */
+inline long
+parseLong(const std::string &text, const std::string &flag, long lo,
+          long hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (text.empty() || *end != '\0')
+        usageError(flag + ": expected an integer, got \"" + text + '"');
+    if (errno == ERANGE || v < lo || v > hi) {
+        usageError(flag + ": value " + text + " out of range ["
+                   + std::to_string(lo) + ", " + std::to_string(hi) + ']');
+    }
+    return v;
+}
+
+/**
+ * Strict floating-point parse of one flag value: the whole string
+ * must be a finite number in [@p lo, @p hi]; exits with status 2
+ * otherwise.
+ */
+inline double
+parseDouble(const std::string &text, const std::string &flag, double lo,
+            double hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || *end != '\0')
+        usageError(flag + ": expected a number, got \"" + text + '"');
+    if (errno == ERANGE || !(v >= lo) || !(v <= hi)) {
+        usageError(flag + ": value " + text + " out of range ["
+                   + std::to_string(lo) + ", " + std::to_string(hi) + ']');
+    }
+    return v;
+}
+
+/**
+ * Locate `--name VALUE` (or `--name=VALUE`); false when absent, the
+ * last occurrence wins, a trailing `--name` with no value is a usage
+ * error.
+ */
+inline bool
+findArg(int argc, char **argv, const std::string &name, std::string &value)
+{
+    const std::string flag = "--" + name;
+    bool found = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == flag) {
+            if (i + 1 >= argc)
+                usageError(flag + ": missing value");
+            value = argv[++i];
+            found = true;
+        } else if (a.rfind(flag + "=", 0) == 0) {
+            value = a.substr(flag.size() + 1);
+            found = true;
+        }
+    }
+    return found;
+}
+
+/** Validated `--name N` integer option; @p fallback when absent. */
+inline long
+longArg(int argc, char **argv, const std::string &name, long fallback,
+        long lo, long hi)
+{
+    std::string v;
+    if (!findArg(argc, argv, name, v))
+        return fallback;
+    return parseLong(v, "--" + name, lo, hi);
+}
+
+/** Validated `--name X` floating-point option; @p fallback when absent. */
+inline double
+doubleArg(int argc, char **argv, const std::string &name, double fallback,
+          double lo, double hi)
+{
+    std::string v;
+    if (!findArg(argc, argv, name, v))
+        return fallback;
+    return parseDouble(v, "--" + name, lo, hi);
+}
+
+/**
  * Parse `--threads N` (or `--threads=N`) from the command line.
  * Defaults to 1; 0 selects the hardware concurrency. Results are
  * bit-identical at every thread count.
@@ -61,18 +166,9 @@ makeQlcChip(int blocks = 2)
 inline int
 threadsArg(int argc, char **argv)
 {
-    int threads = 1;
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        if (a == "--threads" && i + 1 < argc)
-            threads = std::atoi(argv[i + 1]);
-        else if (a.rfind("--threads=", 0) == 0)
-            threads = std::atoi(a.c_str() + 10);
-    }
-    util::fatalIf(threads < 0, "--threads: bad thread count");
-    if (threads == 0)
-        threads = util::hardwareThreads();
-    return threads;
+    const int threads =
+        static_cast<int>(longArg(argc, argv, "threads", 1, 0, 4096));
+    return threads == 0 ? util::hardwareThreads() : threads;
 }
 
 /**
@@ -82,15 +178,8 @@ threadsArg(int argc, char **argv)
 inline std::string
 stringArg(int argc, char **argv, const std::string &name)
 {
-    const std::string flag = "--" + name;
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        if (a == flag && i + 1 < argc)
-            return argv[i + 1];
-        if (a.rfind(flag + "=", 0) == 0)
-            return a.substr(flag.size() + 1);
-    }
-    return "";
+    std::string value;
+    return findArg(argc, argv, name, value) ? value : std::string();
 }
 
 /** Presence of a bare `--name` flag. */
@@ -123,12 +212,8 @@ traceSpansArg(int argc, char **argv)
 inline std::size_t
 spanCapacityArg(int argc, char **argv)
 {
-    const std::string v = stringArg(argc, argv, "span-capacity");
-    if (v.empty())
-        return 0;
-    const long n = std::atol(v.c_str());
-    util::fatalIf(n < 1, "--span-capacity: bad capacity");
-    return static_cast<std::size_t>(n);
+    return static_cast<std::size_t>(longArg(argc, argv, "span-capacity",
+                                            0, 1, 1000000000L));
 }
 
 /** `--health-out FILE`: path of the health JSON-lines time series. */
@@ -145,12 +230,7 @@ healthOutArg(int argc, char **argv)
 inline double
 healthIntervalArg(int argc, char **argv)
 {
-    const std::string v = stringArg(argc, argv, "health-interval");
-    if (v.empty())
-        return 0.0;
-    const double us = std::atof(v.c_str());
-    util::fatalIf(us <= 0.0, "--health-interval: bad interval");
-    return us;
+    return doubleArg(argc, argv, "health-interval", 0.0, 1e-6, 1e15);
 }
 
 /**
@@ -160,12 +240,7 @@ healthIntervalArg(int argc, char **argv)
 inline double
 scrubIntervalArg(int argc, char **argv)
 {
-    const std::string v = stringArg(argc, argv, "scrub-interval");
-    if (v.empty())
-        return 0.0;
-    const double us = std::atof(v.c_str());
-    util::fatalIf(us <= 0.0, "--scrub-interval: bad interval");
-    return us;
+    return doubleArg(argc, argv, "scrub-interval", 0.0, 1e-6, 1e15);
 }
 
 /**
@@ -175,12 +250,8 @@ scrubIntervalArg(int argc, char **argv)
 inline int
 scrubBudgetArg(int argc, char **argv, int fallback)
 {
-    const std::string v = stringArg(argc, argv, "scrub-budget");
-    if (v.empty())
-        return fallback;
-    const int n = std::atoi(v.c_str());
-    util::fatalIf(n < 1, "--scrub-budget: bad budget");
-    return n;
+    return static_cast<int>(longArg(argc, argv, "scrub-budget", fallback,
+                                    1, 1000000000L));
 }
 
 /**
@@ -190,12 +261,7 @@ scrubBudgetArg(int argc, char **argv, int fallback)
 inline double
 refreshRberArg(int argc, char **argv)
 {
-    const std::string v = stringArg(argc, argv, "refresh-rber");
-    if (v.empty())
-        return 0.0;
-    const double r = std::atof(v.c_str());
-    util::fatalIf(r <= 0.0 || r > 1.0, "--refresh-rber: bad threshold");
-    return r;
+    return doubleArg(argc, argv, "refresh-rber", 0.0, 1e-12, 1.0);
 }
 
 /**
@@ -205,12 +271,8 @@ refreshRberArg(int argc, char **argv)
 inline int
 requestsArg(int argc, char **argv, int fallback)
 {
-    const std::string v = stringArg(argc, argv, "requests");
-    if (v.empty())
-        return fallback;
-    const int n = std::atoi(v.c_str());
-    util::fatalIf(n < 1, "--requests: bad count");
-    return n;
+    return static_cast<int>(longArg(argc, argv, "requests", fallback, 1,
+                                    1000000000L));
 }
 
 /** Factory characterization with a bench-friendly sample budget. */

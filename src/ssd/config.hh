@@ -30,6 +30,13 @@ struct SsdConfig
     /** GC kicks in when a plane's free-block fraction drops below. */
     double gcThreshold = 0.05;
 
+    /**
+     * Overlap attempt N+1's sensing with attempt N's transfer +
+     * decode (CACHE-READ-style speculative retry). Off: sequential
+     * retry, each attempt waits for the previous decode verdict.
+     */
+    bool pipelinedRetry = false;
+
     int totalPlanes() const
     {
         return channels * chipsPerChannel * diesPerChip * planesPerDie;

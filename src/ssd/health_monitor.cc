@@ -49,6 +49,7 @@ HealthMonitor::beginRun(const std::string &context)
     windowOpen_ = false;
     windowStartUs_ = 0.0;
     lastUs_ = 0.0;
+    lastCompletionUs_ = 0.0;
     prevPageOps_ = 0;
     prevAttempts_ = 0;
     prevSenseOps_ = 0;
@@ -72,10 +73,28 @@ HealthMonitor::onRequest(double t_us, const util::MetricsRegistry &metrics)
 }
 
 void
+HealthMonitor::noteCompletion(double t_us)
+{
+    lastCompletionUs_ = std::max(lastCompletionUs_, t_us);
+}
+
+void
 HealthMonitor::finishRun(const util::MetricsRegistry &metrics)
 {
-    ssdSnapshot(lastUs_, metrics, true);
+    // The run ends when the last request completes, not when it was
+    // submitted: a queue draining past the last arrival still gets
+    // its boundary snapshots before the final partial window. Runs
+    // shorter than one interval emit the final snapshot alone.
+    const double end_us = std::max(lastUs_, lastCompletionUs_);
+    if (windowOpen_) {
+        while (end_us >= windowStartUs_ + options_.intervalUs) {
+            windowStartUs_ += options_.intervalUs;
+            ssdSnapshot(windowStartUs_, metrics, false);
+        }
+    }
+    ssdSnapshot(end_us, metrics, true);
     windowOpen_ = false;
+    lastCompletionUs_ = 0.0;
 }
 
 void
@@ -110,6 +129,12 @@ HealthMonitor::ssdSnapshot(double t_us, const util::MetricsRegistry &metrics,
         field(*os_, "read_p50_us", h->percentile(0.50));
         field(*os_, "read_p99_us", h->percentile(0.99));
         field(*os_, "read_p999_us", h->percentile(0.999));
+    }
+    // Host-frontend queueing, when a frontend drives the run.
+    if (const util::LatencyHistogram *h =
+            metrics.findHistogram("frontend.queue_wait_us")) {
+        field(*os_, "host_qwait_p50_us", h->percentile(0.50));
+        field(*os_, "host_qwait_p99_us", h->percentile(0.99));
     }
     if (cache_) {
         const core::VoltageCache::Stats s = cache_->stats();

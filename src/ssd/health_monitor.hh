@@ -93,7 +93,20 @@ class HealthMonitor
      */
     void onRequest(double t_us, const util::MetricsRegistry &metrics);
 
-    /** Emit the closing "ssd" snapshot of the run ("final": 1). */
+    /**
+     * Note a request's completion time. Completions extend the run
+     * past the last submission, so a queue draining after the final
+     * arrival still gets its boundary snapshots and the closing
+     * snapshot is stamped when the device goes quiet.
+     */
+    void noteCompletion(double t_us);
+
+    /**
+     * Close the run: emit the boundary snapshots of the drain tail
+     * (windows between the last submission and the last completion),
+     * then the final partial window ("final": 1). Runs shorter than
+     * one interval still emit their final snapshot.
+     */
     void finishRun(const util::MetricsRegistry &metrics);
 
     /**
@@ -123,6 +136,7 @@ class HealthMonitor
     bool windowOpen_ = false;
     double windowStartUs_ = 0.0;
     double lastUs_ = 0.0;
+    double lastCompletionUs_ = 0.0;
     std::uint64_t prevPageOps_ = 0;
     std::uint64_t prevAttempts_ = 0;
     std::uint64_t prevSenseOps_ = 0;

@@ -51,11 +51,21 @@ class ReadCostSource
     virtual void appendMetrics(util::MetricsRegistry &) const {}
 };
 
-/** Fixed cost: every read succeeds first try (fresh-chip behaviour). */
+/**
+ * Fixed cost: every read pays the same session. The one-argument form
+ * succeeds first try (fresh-chip behaviour); the full form fixes the
+ * attempt/assist counts too (deterministic retry-heavy workloads for
+ * the pipelined-retry A/B tests).
+ */
 class FixedReadCost : public ReadCostSource
 {
   public:
     explicit FixedReadCost(int sense_ops) : cost_{1, sense_ops, 0} {}
+
+    FixedReadCost(int sense_ops, int attempts, int assist_reads)
+        : cost_{attempts, sense_ops, assist_reads}
+    {
+    }
 
     std::string name() const override { return "fixed"; }
     ReadCost sample(util::Rng &) override { return cost_; }

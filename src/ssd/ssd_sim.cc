@@ -62,6 +62,7 @@ SsdSim::SsdSim(const SsdConfig &config, const SsdTiming &timing,
     timing_.validate();
     planeFree_.assign(static_cast<std::size_t>(config_.totalPlanes()), 0.0);
     channelFree_.assign(static_cast<std::size_t>(config_.channels), 0.0);
+    report_.policy = readCost_->name();
 }
 
 int
@@ -95,12 +96,17 @@ SsdSim::readPageOp(double arrival, const PhysAddr &addr,
                    LatencyBreakdown &bd, util::SpanBuffer *sb, int parent)
 {
     const int plane = addr.plane;
+    const int ch = channelOf(plane);
 
-    // Same per-session model as core::sessionLatencyUs: every attempt
-    // pays command overhead plus a decode try, an assist read is a
-    // single-voltage sense (command overhead only; its sense op is
-    // counted in senseOps), and the page crosses the channel once —
-    // modelled below as the bus transfer.
+    // Same per-session cost accounting as core::sessionLatencyUs:
+    // every attempt pays command overhead plus a decode try, an
+    // assist read is a single-voltage sense (command overhead only;
+    // its sense op is counted in senseOps). Unlike the closed-form
+    // session model, each attempt here crosses the channel on its
+    // own: the controller cannot decode data it has not transferred,
+    // so a retry costs sense -> transfer -> decode, and only the
+    // sense occupies the die while only the transfer occupies the
+    // channel.
     //
     // Blocks the scrubber probed recently sample the warm cost
     // distribution (sessions seeded from the re-warmed voltage
@@ -111,24 +117,82 @@ SsdSim::readPageOp(double arrival, const PhysAddr &addr,
     const ReadCost cost = (warm ? warmCost_ : readCost_)->sample(rng_);
     if (scrub_on)
         metrics_.add(warm ? "scrub.read.warm" : "scrub.read.cold");
-    bd.senseUs = cost.senseOps * timing_.senseUs;
-    bd.baseUs = (cost.attempts + cost.assistReads) * timing_.readBaseUs;
-    bd.decodeUs = cost.attempts * timing_.decodeUs;
-    const double flash_us = bd.senseUs + bd.baseUs + bd.decodeUs;
 
+    const int attempts = std::max(1, cost.attempts);
+    const int assists = std::max(0, cost.assistReads);
+    const int data_senses = std::max(0, cost.senseOps - assists);
+    const bool pipelined = config_.pipelinedRetry;
+    const double xfer_us = config_.pageKb * timing_.transferUsPerKb;
+
+    bd.senseUs = cost.senseOps * timing_.senseUs;
+    bd.baseUs = (attempts + assists) * timing_.readBaseUs;
+    bd.decodeUs = attempts * timing_.decodeUs;
+    bd.xferUs = attempts * xfer_us;
+
+    // The die is claimed once for the whole session: assist senses
+    // first, then the attempt senses. Sequential retry waits for the
+    // previous attempt's decode verdict before re-sensing; pipelined
+    // retry (CACHE-READ) speculatively senses the next voltage set as
+    // soon as the previous sense has latched, hiding the sense behind
+    // the transfer + decode it overlaps.
     const double start =
         std::max(arrival, planeFree_[static_cast<std::size_t>(plane)]);
-    const double flash_done = start + flash_us;
-    planeFree_[static_cast<std::size_t>(plane)] = flash_done;
+    const double assist_us =
+        assists * (timing_.readBaseUs + timing_.senseUs);
+    double queue_us = start - arrival;
+    double sense_ready = start + assist_us; // die free for the next sense
+    double decode_done = sense_ready;       // previous attempt's verdict
+    double last_sense_end = sense_ready;
+    double done = sense_ready;
 
-    const int ch = channelOf(plane);
-    const double bus_start =
-        std::max(flash_done, channelFree_[static_cast<std::size_t>(ch)]);
-    bd.xferUs = config_.pageKb * timing_.transferUsPerKb;
-    const double done = bus_start + bd.xferUs;
-    channelFree_[static_cast<std::size_t>(ch)] = done;
+    const int op = sb ? sb->begin("read_op", parent) : -1;
+    childSpan(sb, op, "plane_wait", arrival, start - arrival);
+    childSpan(sb, op, "assist_read", start, assist_us);
 
-    bd.queueUs = (start - arrival) + (bus_start - flash_done);
+    for (int a = 0; a < attempts; ++a) {
+        // Attempt voltages: the measured total spread as evenly as
+        // possible, earlier attempts taking the remainder (the first
+        // attempt reads the full default set; retries shift fewer).
+        const int senses = data_senses / attempts
+            + (a < data_senses % attempts ? 1 : 0);
+        const double sense_us =
+            timing_.readBaseUs + senses * timing_.senseUs;
+        const double sense_start =
+            pipelined ? sense_ready : std::max(sense_ready, decode_done);
+        const double sense_end = sense_start + sense_us;
+        const double bus_start = std::max(
+            sense_end, channelFree_[static_cast<std::size_t>(ch)]);
+        const double bus_end = bus_start + xfer_us;
+        channelFree_[static_cast<std::size_t>(ch)] = bus_end;
+        queue_us += bus_start - sense_end;
+        decode_done = bus_end + timing_.decodeUs;
+        sense_ready = sense_end;
+        last_sense_end = sense_end;
+        done = decode_done;
+
+        metrics_.observe("ssd.read.attempt_us", decode_done - sense_start);
+        if (sb) {
+            const int att = sb->begin("attempt", op);
+            sb->num(att, "senses", static_cast<double>(senses));
+            sb->time(att, sense_start, decode_done - sense_start);
+            childSpan(sb, att, "sense", sense_start, sense_us);
+            childSpan(sb, att, "channel_wait", sense_end,
+                      bus_start - sense_end);
+            childSpan(sb, att, "xfer", bus_start, xfer_us);
+            childSpan(sb, att, "decode", bus_end, timing_.decodeUs);
+        }
+    }
+    planeFree_[static_cast<std::size_t>(plane)] = last_sense_end;
+
+    bd.queueUs = queue_us;
+    // Stage time the pipeline hid: occupancy sum minus elapsed time.
+    // Sequential retry has no overlap by construction, and the
+    // subtraction below reproduces that exactly (same terms, same
+    // order) — asserted by the decomposition tests.
+    const double elapsed = done - arrival;
+    bd.overlapUs = (bd.queueUs + bd.senseUs + bd.baseUs + bd.decodeUs
+                    + bd.xferUs)
+        - elapsed;
 
     metrics_.add("ssd.read.page_ops");
     metrics_.add("ssd.read.attempts",
@@ -137,27 +201,25 @@ SsdSim::readPageOp(double arrival, const PhysAddr &addr,
                  static_cast<std::uint64_t>(cost.senseOps));
     metrics_.add("ssd.read.assist_reads",
                  static_cast<std::uint64_t>(cost.assistReads));
-    metrics_.observe("ssd.read.latency_us", done - arrival);
+    metrics_.observe("ssd.read.latency_us", elapsed);
     metrics_.observe("ssd.read.queue_us", bd.queueUs);
     metrics_.observe("ssd.read.queue_us.ch" + std::to_string(ch),
                      bd.queueUs);
     metrics_.observe("ssd.read.sense_us", bd.senseUs);
     metrics_.observe("ssd.read.decode_us", bd.decodeUs);
     metrics_.observe("ssd.read.xfer_us", bd.xferUs);
+    if (pipelined)
+        metrics_.observe("ssd.read.overlap_us", bd.overlapUs);
     if (sb) {
-        const int op = sb->begin("read_op", parent);
         sb->num(op, "plane", static_cast<double>(plane));
         sb->num(op, "channel", static_cast<double>(ch));
         sb->num(op, "attempts", static_cast<double>(cost.attempts));
         sb->num(op, "sense_ops", static_cast<double>(cost.senseOps));
         sb->num(op, "assist_reads",
                 static_cast<double>(cost.assistReads));
-        sb->time(op, arrival, done - arrival);
-        childSpan(sb, op, "plane_wait", arrival, start - arrival);
-        childSpan(sb, op, "flash", start, flash_us);
-        childSpan(sb, op, "channel_wait", flash_done,
-                  bus_start - flash_done);
-        childSpan(sb, op, "xfer", bus_start, bd.xferUs);
+        if (pipelined)
+            sb->num(op, "pipelined", 1.0);
+        sb->time(op, arrival, elapsed);
     }
     return done;
 }
@@ -218,90 +280,102 @@ SsdSim::writePageOp(double arrival, std::int64_t lpn, LatencyBreakdown &bd,
     return done;
 }
 
-SimReport
-SsdSim::run(const std::vector<trace::TraceRecord> &trace)
+double
+SsdSim::submit(const trace::TraceRecord &req, double submit_us, int queue)
 {
-    SimReport report;
-    report.policy = readCost_->name();
-
-    const std::int64_t page_bytes =
-        static_cast<std::int64_t>(config_.pageKb) * 1024;
-    const std::int64_t logical_pages = ftl_.logicalPages();
-
-    const bool scrub_on = scrubActive();
-    ScrubHost scrub_host;
-    if (scrub_on) {
+    // Background maintenance runs in the window up to this request's
+    // submission — probes and refresh migration fill plane idle gaps
+    // before the request is dispatched.
+    if (scrubActive()) {
+        ScrubHost scrub_host;
         scrub_host.config = &config_;
         scrub_host.timing = &timing_;
         scrub_host.planeFree = &planeFree_;
         scrub_host.ftl = &ftl_;
         scrub_host.metrics = &metrics_;
         scrub_host.spans = spans_;
+        scrub_->maintain(scrub_host, submit_us);
     }
 
-    for (const auto &req : trace) {
-        // Background maintenance runs in the window up to this
-        // request's arrival — probes and refresh migration fill
-        // plane idle gaps before the request is dispatched.
-        if (scrub_on)
-            scrub_->maintain(scrub_host, req.timestampUs);
-        const std::int64_t first =
-            static_cast<std::int64_t>(req.offsetBytes) / page_bytes;
-        const std::int64_t last =
-            (static_cast<std::int64_t>(req.offsetBytes) + req.sizeBytes
-             + page_bytes - 1)
-            / page_bytes;
+    const std::int64_t page_bytes =
+        static_cast<std::int64_t>(config_.pageKb) * 1024;
+    const std::int64_t logical_pages = ftl_.logicalPages();
+    const std::int64_t first =
+        static_cast<std::int64_t>(req.offsetBytes) / page_bytes;
+    const std::int64_t last =
+        (static_cast<std::int64_t>(req.offsetBytes) + req.sizeBytes
+         + page_bytes - 1)
+        / page_bytes;
 
-        util::SpanBuffer sb;
-        int root = -1;
-        if (spans_)
-            root = sb.begin(req.isRead ? "host_read" : "host_write");
+    util::SpanBuffer sb;
+    int root = -1;
+    if (spans_)
+        root = sb.begin(req.isRead ? "host_read" : "host_write");
 
-        double done = req.timestampUs;
-        for (std::int64_t p = first; p < last; ++p) {
-            const std::int64_t lpn = p % logical_pages;
-            LatencyBreakdown bd;
-            double page_done;
-            util::SpanBuffer *op_sb = spans_ ? &sb : nullptr;
-            if (req.isRead) {
-                const PhysAddr addr = ftl_.translate(lpn);
-                page_done = readPageOp(req.timestampUs, addr, bd, op_sb,
-                                       root);
-                ++report.pageReads;
-            } else {
-                page_done = writePageOp(req.timestampUs, lpn, bd, op_sb,
-                                        root);
-                ++report.pageWrites;
-            }
-            done = std::max(done, page_done);
-        }
-
-        const double latency = done - req.timestampUs;
+    double done = submit_us;
+    for (std::int64_t p = first; p < last; ++p) {
+        const std::int64_t lpn = p % logical_pages;
+        LatencyBreakdown bd;
+        double page_done;
+        util::SpanBuffer *op_sb = spans_ ? &sb : nullptr;
         if (req.isRead) {
-            report.readLatencyUs.add(latency);
-            report.readLatencies.push_back(latency);
-            metrics_.observe("ssd.read.request_latency_us", latency);
+            const PhysAddr addr = ftl_.translate(lpn);
+            page_done = readPageOp(submit_us, addr, bd, op_sb, root);
+            ++report_.pageReads;
         } else {
-            report.writeLatencyUs.add(latency);
-            metrics_.observe("ssd.write.request_latency_us", latency);
+            page_done = writePageOp(submit_us, lpn, bd, op_sb, root);
+            ++report_.pageWrites;
         }
-        if (spans_) {
-            sb.num(root, "pages", static_cast<double>(last - first));
-            sb.num(root, "offset", static_cast<double>(req.offsetBytes));
-            sb.num(root, "size", static_cast<double>(req.sizeBytes));
-            sb.time(root, req.timestampUs, latency);
-            spans_->emit(sb);
-        }
-        if (health_)
-            health_->onRequest(req.timestampUs, metrics_);
+        done = std::max(done, page_done);
     }
+
+    const double latency = done - submit_us;
+    if (req.isRead) {
+        report_.readLatencyUs.add(latency);
+        report_.readLatencies.push_back(latency);
+        metrics_.observe("ssd.read.request_latency_us", latency);
+    } else {
+        report_.writeLatencyUs.add(latency);
+        metrics_.observe("ssd.write.request_latency_us", latency);
+    }
+    if (spans_) {
+        sb.num(root, "pages", static_cast<double>(last - first));
+        sb.num(root, "offset", static_cast<double>(req.offsetBytes));
+        sb.num(root, "size", static_cast<double>(req.sizeBytes));
+        if (queue >= 0)
+            sb.num(root, "queue", static_cast<double>(queue));
+        sb.time(root, submit_us, latency);
+        spans_->emit(sb);
+    }
+    if (health_) {
+        health_->onRequest(submit_us, metrics_);
+        health_->noteCompletion(done);
+    }
+    return done;
+}
+
+SimReport
+SsdSim::finishRun()
+{
     if (health_)
         health_->finishRun(metrics_);
-    report.ftl = ftl_.stats();
-    report.metrics = std::move(metrics_);
+    report_.ftl = ftl_.stats();
+    report_.metrics = std::move(metrics_);
     metrics_ = util::MetricsRegistry();
-    readCost_->appendMetrics(report.metrics);
+    readCost_->appendMetrics(report_.metrics);
+
+    SimReport report = std::move(report_);
+    report_ = SimReport();
+    report_.policy = readCost_->name();
     return report;
+}
+
+SimReport
+SsdSim::run(const std::vector<trace::TraceRecord> &trace)
+{
+    for (const auto &req : trace)
+        submit(req, req.timestampUs);
+    return finishRun();
 }
 
 } // namespace flash::ssd

@@ -4,9 +4,15 @@
  *
  * Requests split into page operations; each plane and each channel is
  * a FIFO resource with a next-free time, so queueing delay emerges
- * from contention. Read flash time depends on the read policy's
- * per-read cost (attempts / sense ops / assist reads) sampled from an
- * empirical distribution measured on the chip model.
+ * from contention. A page read is decomposed into its retry attempts:
+ * every attempt is an explicit sense (plane) -> transfer (channel) ->
+ * decode (controller) chain whose voltage count comes from the read
+ * policy's per-read cost (attempts / sense ops / assist reads)
+ * sampled from an empirical distribution measured on the chip model.
+ * With SsdConfig::pipelinedRetry the controller overlaps attempt
+ * N+1's sensing with attempt N's transfer + decode (CACHE-READ style
+ * speculation, cf. Park et al., "Reducing SSD Read Latency by
+ * Optimizing Read-Retry").
  *
  * Every page operation is decomposed into a LatencyBreakdown
  * (queueing / sense / transfer / decode / GC-stall components) that
@@ -19,6 +25,14 @@
  * refreshes worn blocks through the FTL. Foreground reads of a block
  * the scrubber has recently probed sample the (cheaper) warm
  * read-cost source when one is attached.
+ *
+ * Driving the simulator: run() replays a whole trace at its recorded
+ * arrival times. A host frontend (ssd/host_frontend) instead calls
+ * submit() once per request at the submission time its queueing model
+ * produced — submission times must be non-decreasing, page operations
+ * dispatch immediately and the completion time returns synchronously
+ * — and finishRun() to close the report. run() is exactly a submit()
+ * loop, so both paths share one timing model.
  */
 
 #ifndef SENTINELFLASH_SSD_SSD_SIM_HH
@@ -41,22 +55,29 @@ namespace flash::ssd
 class HealthMonitor;
 class Scrubber;
 
-/** Where the time of one page operation went. */
+/**
+ * Where the time of one page operation went. Components are resource
+ * occupancies, not wall-clock segments: under pipelined retry the
+ * stages of consecutive attempts overlap, so the components sum to
+ * the elapsed latency plus overlapUs (sequential retry: overlap 0,
+ * components sum to the elapsed latency exactly).
+ */
 struct LatencyBreakdown
 {
-    double queueUs = 0.0;  ///< waiting for the plane and the channel
-    double senseUs = 0.0;  ///< read-voltage applications on-die
-    double baseUs = 0.0;   ///< fixed per-attempt command overhead
-    double decodeUs = 0.0; ///< ECC decode attempts
-    double xferUs = 0.0;   ///< channel transfer
-    double gcUs = 0.0;     ///< GC work serialized before this op
-    double flashUs = 0.0;  ///< program time (writes)
+    double queueUs = 0.0;   ///< waiting for the plane and the channel
+    double senseUs = 0.0;   ///< read-voltage applications on-die
+    double baseUs = 0.0;    ///< fixed per-attempt command overhead
+    double decodeUs = 0.0;  ///< ECC decode attempts
+    double xferUs = 0.0;    ///< channel transfers (one per attempt)
+    double gcUs = 0.0;      ///< GC work serialized before this op
+    double flashUs = 0.0;   ///< program time (writes)
+    double overlapUs = 0.0; ///< stage time hidden by pipelined retry
 
     double
     totalUs() const
     {
         return queueUs + senseUs + baseUs + decodeUs + xferUs + gcUs
-            + flashUs;
+            + flashUs - overlapUs;
     }
 };
 
@@ -73,10 +94,11 @@ struct SimReport
 
     /**
      * Per-op decomposition and queue metrics ("ssd.*"): histograms
-     * ssd.read.{latency,queue,sense,xfer,decode}_us, per-channel
-     * queue delay ssd.read.queue_us.ch<K>, write-side GC stalls
-     * ssd.write.gc_stall_us, plus the request-level
-     * ssd.read.request_latency_us.
+     * ssd.read.{latency,queue,sense,xfer,decode,attempt}_us,
+     * per-channel queue delay ssd.read.queue_us.ch<K>, write-side GC
+     * stalls ssd.write.gc_stall_us, the request-level
+     * ssd.read.request_latency_us, and ssd.read.overlap_us under
+     * pipelined retry.
      */
     util::MetricsRegistry metrics;
 
@@ -101,30 +123,34 @@ class SsdSim
 
     /**
      * Attach a causal span sink: one "host_read" / "host_write" root
-     * per trace record with a "read_op" / "write_op" child per page
-     * operation, itself decomposed into "plane_wait" / "flash" /
-     * "channel_wait" / "xfer" (reads) or "channel_wait" / "xfer" /
-     * "plane_wait" / "gc" / "program" (writes) children on the
-     * simulated clock. Requests are emitted in trace order, so the
-     * serialized spans are deterministic for a fixed run. Pass nullptr
-     * to detach; the sink must outlive run().
+     * per request with a "read_op" / "write_op" child per page
+     * operation. A read_op decomposes into "plane_wait" /
+     * "assist_read" children plus one "attempt" child per retry
+     * attempt, itself a "sense" / "channel_wait" / "xfer" / "decode"
+     * chain (attempt spans overlap under pipelined retry); a write_op
+     * into "channel_wait" / "xfer" / "plane_wait" / "gc" / "program"
+     * children on the simulated clock. Requests are emitted in
+     * submission order, so the serialized spans are deterministic for
+     * a fixed run. Pass nullptr to detach; the sink must outlive the
+     * run.
      */
     void setSpanTrace(util::SpanTrace *spans) { spans_ = spans; }
 
     /**
      * Attach a device-health monitor: onRequest() is called once per
-     * trace record (with the simulated clock and the live metrics),
-     * finishRun() once at the end of run(). Pass nullptr to detach;
-     * the monitor must outlive run().
+     * request (with the submission clock and the live metrics),
+     * noteCompletion() with each request's completion time,
+     * finishRun() once at the end of the run. Pass nullptr to detach;
+     * the monitor must outlive the run.
      */
     void setHealthMonitor(HealthMonitor *health) { health_ = health; }
 
     /**
      * Attach a background scrubber (nullptr detaches). The scrubber
-     * runs between requests inside run(); when enabled, the FTL's
+     * runs between requests inside the run; when enabled, the FTL's
      * erase hook is routed to it so erased blocks lose their warmth
      * and cache entries. One scrubber accompanies one run — construct
-     * a fresh one per simulation; it must outlive run(). A disabled
+     * a fresh one per simulation; it must outlive the run. A disabled
      * scrubber (interval or probe budget 0) leaves the simulation
      * byte-identical to running with none attached.
      */
@@ -135,14 +161,37 @@ class SsdSim
      * keeps warm (typically measured with a pre-warmed voltage
      * cache). Only consulted when an enabled scrubber is attached;
      * cold blocks keep sampling the constructor's source. Must
-     * outlive run(); nullptr detaches.
+     * outlive the run; nullptr detaches.
      */
     void setWarmReadCost(ReadCostSource *warm) { warmCost_ = warm; }
 
     /** The FTL (tests inspect invariants and refresh state). */
     const Ftl &ftl() const { return ftl_; }
 
-    /** Replay a trace and report latencies. */
+    /** Live metrics of the current run (frontend counters merge here). */
+    util::MetricsRegistry &metrics() { return metrics_; }
+
+    /**
+     * Serve one request at @p submit_us (>= every earlier submission
+     * — the plane/channel FIFOs assume dispatch in submission order).
+     * Background maintenance runs in the window up to @p submit_us
+     * first. Returns the request's completion time on the simulated
+     * clock. @p queue tags the request's span root with the
+     * submission queue it came from (< 0: untagged).
+     */
+    double submit(const trace::TraceRecord &req, double submit_us,
+                  int queue = -1);
+
+    /**
+     * Close the run started by the first submit(): emit the final
+     * health snapshot, collect FTL stats and move the metrics into
+     * the returned report. The simulator's resource clocks persist,
+     * so a subsequent submit() starts a new report against the same
+     * device state.
+     */
+    SimReport finishRun();
+
+    /** Replay a trace at its arrival times: submit() + finishRun(). */
     SimReport run(const std::vector<trace::TraceRecord> &trace);
 
   private:
@@ -170,6 +219,7 @@ class SsdSim
     Scrubber *scrub_ = nullptr;
     ReadCostSource *warmCost_ = nullptr;
 
+    SimReport report_;
     std::vector<double> planeFree_;
     std::vector<double> channelFree_;
 };

@@ -104,17 +104,6 @@ attributeCriticalPath(const SpanForest &forest, int index,
         self_us[node.cls] += node.endUs() - t;
 }
 
-/** Number of descendants (including self) of class @p cls. */
-int
-countClass(const SpanForest &forest, int index, const std::string &cls)
-{
-    const SpanNode &node = forest.nodes[static_cast<std::size_t>(index)];
-    int n = node.cls == cls ? 1 : 0;
-    for (int c : node.children)
-        n += countClass(forest, c, cls);
-    return n;
-}
-
 void
 recordViolation(TraceAnalysis &out, const SpanAnalysisOptions &options,
                 std::string msg)
@@ -319,14 +308,31 @@ analyzeSpans(const SpanForest &forest, const SpanAnalysisOptions &options)
         }
     }
 
-    // Retry storms: a root whose session retried >= K times, read off
-    // the root's "attempts" attribute or its "attempt" child spans.
+    // Retry storms: some read session under the root retried >= K
+    // times. A session is any span carrying an "attempts" attribute
+    // (SsdSim read_op, chip-level session roots) or explicit
+    // "attempt" child spans; the root reports its worst session, so a
+    // multi-page request does not pool one-attempt reads into a
+    // phantom storm.
     for (int r : forest.roots) {
         const SpanNode &root = forest.nodes[static_cast<std::size_t>(r)];
-        const int from_attr =
-            static_cast<int>(root.num("attempts", 0.0)) - 1;
-        const int from_spans = countClass(forest, r, "attempt") - 1;
-        const int retries = std::max({from_attr, from_spans, 0});
+        int retries = 0;
+        const std::function<void(int)> scan = [&](int idx) {
+            const SpanNode &node =
+                forest.nodes[static_cast<std::size_t>(idx)];
+            const int from_attr =
+                static_cast<int>(node.num("attempts", 0.0)) - 1;
+            int from_spans = 0;
+            for (int c : node.children) {
+                from_spans +=
+                    forest.nodes[static_cast<std::size_t>(c)].cls
+                    == "attempt";
+            }
+            retries = std::max({retries, from_attr, from_spans - 1});
+            for (int c : node.children)
+                scan(c);
+        };
+        scan(r);
         if (retries >= options.retryStormK)
             out.retryStorms.push_back(RetryStorm{root.id, retries});
     }

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_support.hh"
+
+namespace flash::bench
+{
+namespace
+{
+
+/** Build a mutable argv from string arguments. */
+struct Args
+{
+    explicit Args(std::vector<std::string> args) : store(std::move(args))
+    {
+        ptrs.push_back(const_cast<char *>("bench"));
+        for (std::string &a : store)
+            ptrs.push_back(a.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+
+    std::vector<std::string> store;
+    std::vector<char *> ptrs;
+};
+
+TEST(BenchArgs, ThreadsParsesValidForms)
+{
+    Args space({"--threads", "8"});
+    EXPECT_EQ(threadsArg(space.argc(), space.argv()), 8);
+    Args eq({"--threads=3"});
+    EXPECT_EQ(threadsArg(eq.argc(), eq.argv()), 3);
+    Args absent({"--other", "x"});
+    EXPECT_EQ(threadsArg(absent.argc(), absent.argv()), 1);
+    Args zero({"--threads", "0"}); // hardware concurrency
+    EXPECT_GE(threadsArg(zero.argc(), zero.argv()), 1);
+}
+
+TEST(BenchArgsDeathTest, ThreadsRejectsNonNumeric)
+{
+    Args a({"--threads", "abc"});
+    EXPECT_EXIT(threadsArg(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "expected an integer");
+}
+
+TEST(BenchArgsDeathTest, ThreadsRejectsTrailingGarbage)
+{
+    Args a({"--threads=8x"});
+    EXPECT_EXIT(threadsArg(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "expected an integer");
+}
+
+TEST(BenchArgsDeathTest, ThreadsRejectsOutOfRange)
+{
+    Args neg({"--threads", "-1"});
+    EXPECT_EXIT(threadsArg(neg.argc(), neg.argv()),
+                testing::ExitedWithCode(2), "out of range");
+    Args huge({"--threads", "99999999999999999999"});
+    EXPECT_EXIT(threadsArg(huge.argc(), huge.argv()),
+                testing::ExitedWithCode(2), "out of range");
+}
+
+TEST(BenchArgsDeathTest, ThreadsRejectsMissingValue)
+{
+    Args a({"--threads"});
+    EXPECT_EXIT(threadsArg(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "missing value");
+}
+
+TEST(BenchArgsDeathTest, ThreadsRejectsEmptyValue)
+{
+    Args a({"--threads="});
+    EXPECT_EXIT(threadsArg(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "expected an integer");
+}
+
+TEST(BenchArgs, RequestsFallbackAndOverride)
+{
+    Args absent({});
+    EXPECT_EQ(requestsArg(absent.argc(), absent.argv(), 777), 777);
+    Args set({"--requests", "123"});
+    EXPECT_EQ(requestsArg(set.argc(), set.argv(), 777), 123);
+}
+
+TEST(BenchArgsDeathTest, RequestsRejectsZeroAndGarbage)
+{
+    Args zero({"--requests", "0"});
+    EXPECT_EXIT(requestsArg(zero.argc(), zero.argv(), 5),
+                testing::ExitedWithCode(2), "out of range");
+    Args junk({"--requests", "1e4"}); // integers take no exponent
+    EXPECT_EXIT(requestsArg(junk.argc(), junk.argv(), 5),
+                testing::ExitedWithCode(2), "expected an integer");
+}
+
+TEST(BenchArgs, HealthIntervalParsesNumbers)
+{
+    Args absent({});
+    EXPECT_EQ(healthIntervalArg(absent.argc(), absent.argv()), 0.0);
+    Args sci({"--health-interval", "5e4"});
+    EXPECT_EQ(healthIntervalArg(sci.argc(), sci.argv()), 50000.0);
+}
+
+TEST(BenchArgsDeathTest, HealthIntervalRejectsBadValues)
+{
+    Args neg({"--health-interval", "-5"});
+    EXPECT_EXIT(healthIntervalArg(neg.argc(), neg.argv()),
+                testing::ExitedWithCode(2), "out of range");
+    Args junk({"--health-interval", "soon"});
+    EXPECT_EXIT(healthIntervalArg(junk.argc(), junk.argv()),
+                testing::ExitedWithCode(2), "expected a number");
+    Args tail({"--health-interval=5e4Q"});
+    EXPECT_EXIT(healthIntervalArg(tail.argc(), tail.argv()),
+                testing::ExitedWithCode(2), "expected a number");
+}
+
+TEST(BenchArgsDeathTest, RefreshRberRejectsAboveOne)
+{
+    Args a({"--refresh-rber", "1.5"});
+    EXPECT_EXIT(refreshRberArg(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "out of range");
+}
+
+TEST(BenchArgs, LastOccurrenceWins)
+{
+    Args a({"--threads", "2", "--threads", "6"});
+    EXPECT_EQ(threadsArg(a.argc(), a.argv()), 6);
+    Args b({"--requests=10", "--requests=20"});
+    EXPECT_EQ(requestsArg(b.argc(), b.argv(), 1), 20);
+}
+
+TEST(BenchArgs, StringAndFlagArgsUnchanged)
+{
+    Args a({"--metrics-out", "m.json", "--flag"});
+    EXPECT_EQ(metricsOutArg(a.argc(), a.argv()), "m.json");
+    EXPECT_TRUE(flagArg(a.argc(), a.argv(), "flag"));
+    EXPECT_FALSE(flagArg(a.argc(), a.argv(), "other"));
+    EXPECT_EQ(stringArg(a.argc(), a.argv(), "absent"), "");
+}
+
+} // namespace
+} // namespace flash::bench

@@ -193,6 +193,59 @@ TEST(HealthMonitor, ReportsCacheRatesAndLatencyPercentilesWhenPresent)
     EXPECT_EQ(records[0].find("cache_stale_rate")->number, 0.0);
 }
 
+TEST(HealthMonitor, ShortRunEmitsFinalPartialWindow)
+{
+    // Regression: a run far shorter than one snapshot interval must
+    // still emit its final partial window (earlier drivers dropped
+    // the tail when no boundary was ever crossed).
+    std::ostringstream os;
+    HealthMonitorOptions opt;
+    opt.intervalUs = 1e6;
+    HealthMonitor monitor(os, opt);
+    util::MetricsRegistry m;
+
+    monitor.beginRun("short");
+    monitor.onRequest(0.0, m);
+    m.add("ssd.read.page_ops", 3);
+    monitor.onRequest(100.0, m);
+    monitor.noteCompletion(250.0);
+    monitor.finishRun(m);
+
+    const auto records = parsedLines(os.str());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].find("t_us")->number, 250.0);
+    EXPECT_EQ(records[0].find("reads")->number, 3.0);
+    EXPECT_EQ(records[0].find("final")->number, 1.0);
+}
+
+TEST(HealthMonitor, DrainTailWindowsEmittedAfterLastArrival)
+{
+    // A deep queue keeps completing long after the last submission:
+    // the drain tail gets its boundary snapshots and the final record
+    // lands at the last completion, not the last arrival.
+    std::ostringstream os;
+    HealthMonitorOptions opt;
+    opt.intervalUs = 100.0;
+    HealthMonitor monitor(os, opt);
+    util::MetricsRegistry m;
+
+    monitor.beginRun("drain");
+    monitor.onRequest(0.0, m);
+    monitor.onRequest(50.0, m); // no boundary crossed yet
+    monitor.noteCompletion(420.0);
+    monitor.finishRun(m);
+
+    // Boundaries at 100/200/300/400, final partial at 420.
+    const auto records = parsedLines(os.str());
+    ASSERT_EQ(records.size(), 5u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(records[i].find("t_us")->number, 100.0 * (i + 1));
+        EXPECT_EQ(records[i].find("final"), nullptr);
+    }
+    EXPECT_EQ(records[4].find("t_us")->number, 420.0);
+    EXPECT_EQ(records[4].find("final")->number, 1.0);
+}
+
 TEST(HealthMonitor, RejectsBadOptions)
 {
     std::ostringstream os;

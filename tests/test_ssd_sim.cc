@@ -71,8 +71,10 @@ TEST(SsdSim, IdleLatencyAgreesWithSessionModel)
     // The chip-level and SSD-level paths must charge the same latency
     // for the same session cost (retry + assist read included) once
     // the transfer terms are aligned: attempts pay overhead + decode,
-    // the assist read pays overhead only, senses via senseOps, one
-    // transfer per page read.
+    // the assist read pays overhead only, senses via senseOps. The
+    // closed-form session model charges one transfer; the simulator
+    // transfers every attempt, so an idle sequential read is exactly
+    // the session latency plus (attempts - 1) extra transfers.
     struct SessionCost : ReadCostSource
     {
         std::string name() const override { return "session"; }
@@ -94,7 +96,9 @@ TEST(SsdSim, IdleLatencyAgreesWithSessionModel)
     p.decodeUs = t.decodeUs;
     p.senseUs = t.senseUs;
     p.transferUs = cfg.pageKb * t.transferUsPerKb;
-    EXPECT_NEAR(rep.readLatencyUs.mean(), core::sessionLatencyUs(s, p),
+    EXPECT_NEAR(rep.readLatencyUs.mean(),
+                core::sessionLatencyUs(s, p)
+                    + (s.attempts - 1) * p.transferUs,
                 1e-9);
 }
 
@@ -125,9 +129,10 @@ TEST(SsdSim, ContentionOnOnePlaneQueues)
         trace.push_back(r);
     }
     const auto rep = sim.run(trace);
-    // The last request waits behind 49 flash ops.
-    const double flash = (t.readBaseUs + t.decodeUs) + 4 * t.senseUs;
-    EXPECT_GT(rep.readLatencyUs.max(), 45 * flash);
+    // The last request waits behind 49 sense phases (the die is held
+    // for sensing only; transfer and decode proceed off-plane).
+    const double sense_phase = t.readBaseUs + 4 * t.senseUs;
+    EXPECT_GT(rep.readLatencyUs.max(), 45 * sense_phase);
 }
 
 TEST(SsdSim, WritesProgramAndCount)
