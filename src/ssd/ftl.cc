@@ -346,4 +346,17 @@ Ftl::write(std::int64_t lpn)
     return effect;
 }
 
+std::size_t
+Ftl::footprintBytes() const
+{
+    std::size_t bytes = sizeof(Ftl) + map_.size() * sizeof(std::int64_t);
+    for (const Plane &plane : planes_) {
+        bytes += plane.blocks.size() * sizeof(Block)
+            + plane.freeList.size() * sizeof(int);
+        for (const Block &block : plane.blocks)
+            bytes += block.owner.size() * sizeof(std::int64_t);
+    }
+    return bytes;
+}
+
 } // namespace flash::ssd

@@ -137,6 +137,13 @@ class Ftl
     int freeBlocks(int plane) const;
 
     /**
+     * Heap bytes held by the mapping tables (map, per-block owner
+     * arrays, free lists). The dominant per-device memory cost of a
+     * fleet run; reported by bench_fleet.
+     */
+    std::size_t footprintBytes() const;
+
+    /**
      * Verify internal consistency (panic on violation): every mapped
      * LPN's physical page is owned by that LPN, per-block valid-page
      * counts match their owner arrays, no physical page is owned by

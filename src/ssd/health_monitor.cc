@@ -119,6 +119,8 @@ HealthMonitor::ssdSnapshot(double t_us, const util::MetricsRegistry &metrics,
 
     *os_ << "{\"health\": \"ssd\", \"context\": \""
          << util::jsonEscape(context_) << '"';
+    if (options_.deviceId >= 0)
+        *os_ << ", \"device\": " << options_.deviceId;
     field(*os_, "t_us", t_us);
     field(*os_, "reads", d_reads);
     field(*os_, "retries_per_read", rate(d_retries, d_reads));
@@ -221,6 +223,8 @@ HealthMonitor::probeBlock(const nand::Chip &chip, int block,
     const nand::BlockAge &age = chip.blockAge(block);
     *os_ << "{\"health\": \"chip\", \"context\": \""
          << util::jsonEscape(context_) << '"';
+    if (options_.deviceId >= 0)
+        *os_ << ", \"device\": " << options_.deviceId;
     field(*os_, "t_us", t_us);
     field(*os_, "block", block);
     field(*os_, "pe_cycles", age.peCycles);

@@ -56,6 +56,15 @@ struct HealthMonitorOptions
 
     /** Read-noise stream of the chip probes (see nand::ReadClock). */
     std::uint64_t readStream = 0;
+
+    /**
+     * Fleet device id stamped on every record as "device": N (< 0:
+     * omitted — the single-device benches keep their schema). Fleet
+     * runs give every device its own monitor writing to a private
+     * buffer and flush the buffers in device-id order, so a shared
+     * health file never holds interleaved partial lines.
+     */
+    int deviceId = -1;
 };
 
 /** JSON-lines health recorder; see the file comment. */

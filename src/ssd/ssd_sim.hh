@@ -168,6 +168,18 @@ class SsdSim
     /** The FTL (tests inspect invariants and refresh state). */
     const Ftl &ftl() const { return ftl_; }
 
+    /**
+     * Heap bytes held by the device state that persists across runs:
+     * the FTL mapping tables plus the plane/channel next-free clocks.
+     * The live metrics registry is excluded — it moves into each
+     * finishRun() report, whose own footprintBytes() covers it.
+     */
+    std::size_t footprintBytes() const
+    {
+        return sizeof(SsdSim) + ftl_.footprintBytes()
+            + (planeFree_.size() + channelFree_.size()) * sizeof(double);
+    }
+
     /** Live metrics of the current run (frontend counters merge here). */
     util::MetricsRegistry &metrics() { return metrics_; }
 

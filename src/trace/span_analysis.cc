@@ -270,14 +270,19 @@ analyzeSpans(const SpanForest &forest, const SpanAnalysisOptions &options)
         }
     }
 
-    // Per-root-class latency totals (file order, matching the order
-    // the metrics accumulated the same values) and distributions.
+    // Per-root-class latency totals and distributions. Totals use the
+    // same exact accumulation as the metrics histograms, so for runs
+    // whose roots carry the recorded latencies they agree to the last
+    // bit — in any order.
     std::map<std::string, std::vector<double>> root_durs;
+    std::map<std::string, util::ExactSum> root_sums;
     for (int r : forest.roots) {
         const SpanNode &root = forest.nodes[static_cast<std::size_t>(r)];
-        out.rootTotalUs[root.cls] += root.durUs;
+        root_sums[root.cls].add(root.durUs);
         root_durs[root.cls].push_back(root.durUs);
     }
+    for (const auto &[cls, sum] : root_sums)
+        out.rootTotalUs[cls] = sum.value();
     std::map<std::string, double> tail_threshold;
     for (auto &[cls, durs] : root_durs) {
         std::vector<double> sorted = durs;

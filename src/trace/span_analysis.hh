@@ -116,9 +116,10 @@ struct TraceAnalysis
     std::uint64_t violationCount = 0;
 
     /**
-     * Per root class: sum of root durations in file order. For core
-     * evaluator traces this reproduces the metrics' latency-histogram
-     * sums bit-exactly (same values, same order).
+     * Per root class: exact sum of root durations (util::ExactSum,
+     * order-invariant). For core evaluator traces this reproduces the
+     * metrics' latency-histogram sums bit-exactly (same multiset of
+     * values, same exact accumulation).
      */
     std::map<std::string, double> rootTotalUs;
 

@@ -1,0 +1,82 @@
+#include "util/exact_sum.hh"
+
+#include <cmath>
+
+namespace flash::util
+{
+
+void
+ExactSum::addAt(int limb, std::uint64_t v)
+{
+    while (v != 0 && limb < kLimbs) {
+        const std::uint64_t old = limbs_[static_cast<std::size_t>(limb)];
+        limbs_[static_cast<std::size_t>(limb)] = old + v;
+        v = limbs_[static_cast<std::size_t>(limb)] < old ? 1 : 0;
+        ++limb;
+    }
+}
+
+void
+ExactSum::add(double v)
+{
+    if (!(v > 0.0) || !std::isfinite(v))
+        return;
+    int e = 0;
+    const double frac = std::frexp(v, &e); // v = frac * 2^e, frac in [0.5,1)
+    // The mantissa as a 53-bit integer: exact for normals and
+    // subnormals alike (a subnormal's frac carries <= 52 significant
+    // bits, so scaling by 2^53 stays integral).
+    const auto m = static_cast<std::uint64_t>(std::ldexp(frac, 53));
+    const int pos = e - 53 + kBiasBits; // bit position of m's LSB
+    const int limb = pos >> 6;
+    const int shift = pos & 63;
+    const unsigned __int128 wide = static_cast<unsigned __int128>(m)
+        << shift; // <= 116 bits
+    addAt(limb, static_cast<std::uint64_t>(wide));
+    addAt(limb + 1, static_cast<std::uint64_t>(wide >> 64));
+}
+
+void
+ExactSum::merge(const ExactSum &other)
+{
+    for (int k = kLimbs - 1; k >= 0; --k)
+        addAt(k, other.limbs_[static_cast<std::size_t>(k)]);
+}
+
+bool
+ExactSum::zero() const
+{
+    for (const std::uint64_t limb : limbs_) {
+        if (limb != 0)
+            return false;
+    }
+    return true;
+}
+
+double
+ExactSum::value() const
+{
+    int top = kLimbs - 1;
+    while (top >= 0 && limbs_[static_cast<std::size_t>(top)] == 0)
+        --top;
+    if (top < 0)
+        return 0.0;
+
+    const std::uint64_t hi = limbs_[static_cast<std::size_t>(top)];
+    const std::uint64_t lo =
+        top > 0 ? limbs_[static_cast<std::size_t>(top - 1)] : 0;
+    unsigned __int128 x =
+        (static_cast<unsigned __int128>(hi) << 64) | lo;
+    for (int k = 0; k < top - 1; ++k) {
+        if (limbs_[static_cast<std::size_t>(k)] != 0) {
+            x |= 1; // sticky: the tail below the 128-bit window
+            break;
+        }
+    }
+    // Round the 128-bit window once (int -> double is round-to-
+    // nearest), then scale by an exact power of two.
+    return std::ldexp(static_cast<double>(x),
+                      64 * (top - 1) - kBiasBits);
+}
+
+} // namespace flash::util

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Order-invariant exact accumulation of non-negative doubles.
+ *
+ * An ExactSum is a fixed-point superaccumulator: the running total is
+ * held as an array of 64-bit limbs covering the full finite double
+ * range, and add() deposits each value's integer mantissa into the
+ * limbs its exponent selects, propagating carries. Integer addition
+ * is associative and commutative, so the accumulated state — and
+ * therefore value(), the total rounded once back to double — is a
+ * pure function of the *multiset* of added values: any insertion
+ * order, any shard split, any merge() permutation produces identical
+ * bits. This is what lets per-device metrics registries merge into
+ * fleet rollups byte-identically regardless of evaluation order
+ * (plain `double` += accumulation rounds at every step, so it is
+ * order-sensitive).
+ *
+ * Only non-negative finite values are accepted (the latency metrics
+ * clamp negatives to zero before accumulating); the limb array has
+ * headroom for more than 2^63 max-double additions, so carries cannot
+ * overflow the top in any realistic run.
+ */
+
+#ifndef SENTINELFLASH_UTIL_EXACT_SUM_HH
+#define SENTINELFLASH_UTIL_EXACT_SUM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace flash::util
+{
+
+/** Exact, order-invariant sum of non-negative doubles. */
+class ExactSum
+{
+  public:
+    /**
+     * Add one value. Negative, NaN and infinite inputs contribute
+     * nothing (callers clamp before recording; see
+     * LatencyHistogram::add).
+     */
+    void add(double v);
+
+    /** Add another accumulator's exact total (limb-wise, exact). */
+    void merge(const ExactSum &other);
+
+    /**
+     * The exact total rounded once to double: the top 128 bits of the
+     * limb array, with every lower nonzero bit folded into a sticky
+     * bit, converted round-to-nearest. Deterministic in the exact
+     * total alone. Totals beyond the double range return +inf.
+     */
+    double value() const;
+
+    /** Whether nothing (or only zeros) has been added. */
+    bool zero() const;
+
+  private:
+    /** Limb k carries weight 2^(64k - kBiasBits). */
+    static constexpr int kBiasBits = 1152;
+
+    /**
+     * Bit positions span [-1152, 64*kLimbs - 1152). The smallest
+     * mantissa bit of any finite double sits at 2^-1074 >= 2^-1152;
+     * the largest double is < 2^1024, so sums stay below 2^1088 until
+     * ~2^64 additions of the maximum double — limb 36 tops out at
+     * 2^1152, leaving > 2^63 of headroom.
+     */
+    static constexpr int kLimbs = 36;
+
+    void addAt(int limb, std::uint64_t v);
+
+    std::array<std::uint64_t, kLimbs> limbs_{};
+};
+
+} // namespace flash::util
+
+#endif // SENTINELFLASH_UTIL_EXACT_SUM_HH

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace flash::util
@@ -117,7 +118,7 @@ LatencyHistogram::add(double v)
         max_ = std::max(max_, v);
     }
     ++count_;
-    sum_ += v;
+    sum_.add(v);
 }
 
 void
@@ -137,14 +138,14 @@ LatencyHistogram::merge(const LatencyHistogram &other)
         max_ = std::max(max_, other.max_);
     }
     count_ += other.count_;
-    sum_ += other.sum_;
+    sum_.merge(other.sum_);
 }
 
-double
-LatencyHistogram::percentile(double q) const
+int
+LatencyHistogram::percentileBin(double q) const
 {
     if (count_ == 0)
-        return 0.0;
+        return -1;
     q = std::clamp(q, 0.0, 1.0);
     // Nearest-rank over integer bin counts: deterministic regardless
     // of the order observations arrived in.
@@ -154,20 +155,38 @@ LatencyHistogram::percentile(double q) const
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         seen += bins_[i];
-        if (seen >= target) {
-            const double mid = 0.5
-                * (binLo(static_cast<int>(i)) + binHi(static_cast<int>(i)));
-            return std::clamp(mid, min_, max_);
-        }
+        if (seen >= target)
+            return static_cast<int>(i);
     }
-    return max_;
+    return static_cast<int>(bins_.size()) - 1;
+}
+
+std::uint64_t
+LatencyHistogram::countFromBin(int bin) const
+{
+    std::uint64_t seen = 0;
+    for (std::size_t i = static_cast<std::size_t>(std::max(bin, 0));
+         i < bins_.size(); ++i) {
+        seen += bins_[i];
+    }
+    return seen;
+}
+
+double
+LatencyHistogram::percentile(double q) const
+{
+    const int bin = percentileBin(q);
+    if (bin < 0)
+        return 0.0;
+    const double mid = 0.5 * (binLo(bin) + binHi(bin));
+    return std::clamp(mid, min_, max_);
 }
 
 void
 LatencyHistogram::writeJson(std::ostream &os) const
 {
     os << "{\"count\": " << count_
-       << ", \"sum\": " << jsonNumber(sum_)
+       << ", \"sum\": " << jsonNumber(sum())
        << ", \"min\": " << jsonNumber(min())
        << ", \"max\": " << jsonNumber(max())
        << ", \"mean\": " << jsonNumber(mean())
@@ -175,6 +194,71 @@ LatencyHistogram::writeJson(std::ostream &os) const
        << ", \"p90\": " << jsonNumber(percentile(0.90))
        << ", \"p99\": " << jsonNumber(percentile(0.99))
        << ", \"p999\": " << jsonNumber(percentile(0.999)) << "}";
+}
+
+void
+LatencyHistogram::writeBinsJson(std::ostream &os) const
+{
+    os << "{\"count\": " << count_
+       << ", \"min\": " << jsonNumber(min())
+       << ", \"max\": " << jsonNumber(max())
+       << ", \"sum\": " << jsonNumber(sum())
+       << ", \"bins\": [";
+    bool first = true;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue;
+        os << (first ? "" : ", ") << '[' << i << ", " << bins_[i] << ']';
+        first = false;
+    }
+    os << "]}";
+}
+
+LatencyHistogram
+LatencyHistogram::fromBinsJson(const JsonValue &v)
+{
+    fatalIf(!v.isObject(), "histogram bins: expected an object");
+    const JsonValue *bins = v.find("bins");
+    const JsonValue *min = v.find("min");
+    const JsonValue *max = v.find("max");
+    const JsonValue *sum = v.find("sum");
+    const JsonValue *count = v.find("count");
+    fatalIf(bins == nullptr || bins->type != JsonValue::Type::Array
+                || min == nullptr || !min->isNumber() || max == nullptr
+                || !max->isNumber() || sum == nullptr || !sum->isNumber()
+                || count == nullptr || !count->isNumber(),
+            "histogram bins: missing or mistyped field");
+
+    LatencyHistogram h;
+    for (const JsonValue &entry : bins->array) {
+        fatalIf(entry.type != JsonValue::Type::Array
+                    || entry.array.size() != 2 || !entry.array[0].isNumber()
+                    || !entry.array[1].isNumber()
+                    || entry.array[0].number < 0.0
+                    || entry.array[1].number <= 0.0,
+                "histogram bins: bad [index, count] entry");
+        const auto idx = static_cast<std::size_t>(entry.array[0].number);
+        if (idx >= h.bins_.size())
+            h.bins_.resize(idx + 1, 0);
+        const auto n = static_cast<std::uint64_t>(entry.array[1].number);
+        h.bins_[idx] += n;
+        h.count_ += n;
+    }
+    fatalIf(static_cast<double>(h.count_) != count->number,
+            "histogram bins: count does not match bin totals");
+    if (h.count_ > 0) {
+        h.min_ = min->number;
+        h.max_ = max->number;
+        h.sum_.add(sum->number);
+    }
+    return h;
+}
+
+std::size_t
+LatencyHistogram::footprintBytes() const
+{
+    return sizeof(LatencyHistogram)
+        + bins_.size() * sizeof(std::uint64_t);
 }
 
 void
@@ -216,6 +300,29 @@ MetricsRegistry::merge(const MetricsRegistry &other)
         counters_[name] += value;
     for (const auto &[name, hist] : other.histograms_)
         histograms_[name].merge(hist);
+}
+
+void
+MetricsRegistry::mergePrefixed(const MetricsRegistry &other,
+                               const std::string &prefix)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[prefix + name] += value;
+    for (const auto &[name, hist] : other.histograms_)
+        histograms_[prefix + name].merge(hist);
+}
+
+std::size_t
+MetricsRegistry::footprintBytes() const
+{
+    std::size_t bytes = sizeof(MetricsRegistry);
+    for (const auto &[name, value] : counters_) {
+        (void)value;
+        bytes += sizeof(std::uint64_t) + name.size() + 48;
+    }
+    for (const auto &[name, hist] : histograms_)
+        bytes += hist.footprintBytes() + name.size() + 48;
+    return bytes;
 }
 
 void

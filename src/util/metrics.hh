@@ -8,9 +8,12 @@
  * into linear sub-bins, HdrHistogram style), so merging per-shard
  * instances bin-wise is exactly equivalent to a single-pass fill and
  * the exported percentiles are bit-identical at any thread count.
- * Floating-point sums are the one order-sensitive quantity; the
- * evaluators therefore record sequentially in wordline order after
- * the parallel phase, never from worker threads.
+ * Observation sums are held in a util::ExactSum superaccumulator, so
+ * even the floating-point totals are a pure function of the multiset
+ * of observations: merging K shard registries in any permutation
+ * exports the same bytes as one registry that saw everything — the
+ * property the fleet rollups rely on. (Recording itself is still not
+ * thread-safe: accumulate per shard and merge.)
  */
 
 #ifndef SENTINELFLASH_UTIL_METRICS_HH
@@ -22,8 +25,12 @@
 #include <string>
 #include <vector>
 
+#include "util/exact_sum.hh"
+
 namespace flash::util
 {
+
+class JsonValue;
 
 /** Format a double for JSON (shortest round-trip, deterministic). */
 std::string jsonNumber(double v);
@@ -65,13 +72,17 @@ class LatencyHistogram
     /** Number of observations. */
     std::uint64_t count() const { return count_; }
 
-    /** Sum of observations (order-sensitive; see file comment). */
-    double sum() const { return sum_; }
+    /**
+     * Sum of observations: the exact total rounded once to double, so
+     * it is identical however the observations were sharded or the
+     * shards merged (see util::ExactSum).
+     */
+    double sum() const { return sum_.value(); }
 
     /** Arithmetic mean (0 when empty). */
     double mean() const
     {
-        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+        return count_ ? sum_.value() / static_cast<double>(count_) : 0.0;
     }
 
     /** Smallest observation (0 when empty). */
@@ -86,6 +97,41 @@ class LatencyHistogram
      * min/max), 0 when empty. Monotone non-decreasing in q.
      */
     double percentile(double q) const;
+
+    /**
+     * Bin index holding the nearest-rank quantile @p q (-1 when
+     * empty). Because every histogram shares one bin layout, tail
+     * masses defined as "observations in bins >= percentileBin(q)"
+     * partition exactly across shards — the fleet tail attribution
+     * reconciles per-device counts against the rollup with integer
+     * equality.
+     */
+    int percentileBin(double q) const;
+
+    /** Observations in bins >= @p bin (whole count when bin <= 0). */
+    std::uint64_t countFromBin(int bin) const;
+
+    /** Raw bin counts (index = binOf value; trailing bins trimmed). */
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+
+    /**
+     * Export the full bin vector as one JSON object:
+     * {"count": N, "min": m, "max": M, "sum": s,
+     *  "bins": [[index, count], ...]} (non-zero bins only, ascending
+     * index). The lossless form fleet drivers persist per device so
+     * offline tools can re-merge and re-query histograms exactly.
+     */
+    void writeBinsJson(std::ostream &os) const;
+
+    /**
+     * Rebuild a histogram from a writeBinsJson() document (fatal on
+     * malformed input). Counts, bins, min, max and percentiles round-
+     * trip exactly; the rebuilt sum is the serialized (rounded) sum.
+     */
+    static LatencyHistogram fromBinsJson(const JsonValue &v);
+
+    /** Heap bytes held by this histogram (bin storage). */
+    std::size_t footprintBytes() const;
 
     /** Bin index of a value (exposed for tests). */
     static int binOf(double v);
@@ -105,7 +151,7 @@ class LatencyHistogram
   private:
     std::vector<std::uint64_t> bins_;
     std::uint64_t count_ = 0;
-    double sum_ = 0.0;
+    ExactSum sum_;
     double min_ = 0.0;
     double max_ = 0.0;
 };
@@ -139,6 +185,18 @@ class MetricsRegistry
 
     /** Merge counters and histograms of @p other into this. */
     void merge(const MetricsRegistry &other);
+
+    /**
+     * Merge @p other with every name prefixed by @p prefix — the
+     * fleet rollup path ("ssd.read.latency_us" merges into
+     * "fleet.ssd.read.latency_us"). Exact like merge(): merging K
+     * registries in any permutation exports identical bytes.
+     */
+    void mergePrefixed(const MetricsRegistry &other,
+                       const std::string &prefix);
+
+    /** Approximate heap bytes held (names, counters, histograms). */
+    std::size_t footprintBytes() const;
 
     /** All counters (name-ordered). */
     const std::map<std::string, std::uint64_t> &counters() const

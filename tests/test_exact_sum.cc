@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests of util::ExactSum, the fixed-point superaccumulator behind
+ * the metrics sums. The load-bearing property is that value() is a
+ * pure function of the multiset of added values — permutation- and
+ * sharding-invariant to the last bit — plus correct rounding on
+ * inputs whose exact total we can compute independently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/exact_sum.hh"
+#include "util/rng.hh"
+
+namespace flash
+{
+namespace
+{
+
+using util::ExactSum;
+
+double
+sumOf(const std::vector<double> &values)
+{
+    ExactSum s;
+    for (double v : values)
+        s.add(v);
+    return s.value();
+}
+
+TEST(ExactSum, EmptyAndZero)
+{
+    ExactSum s;
+    EXPECT_TRUE(s.zero());
+    EXPECT_EQ(s.value(), 0.0);
+    s.add(0.0);
+    EXPECT_TRUE(s.zero());
+    EXPECT_EQ(s.value(), 0.0);
+    s.add(1.5);
+    EXPECT_FALSE(s.zero());
+    EXPECT_EQ(s.value(), 1.5);
+}
+
+TEST(ExactSum, SingleValueRoundTripsExactly)
+{
+    // One added value comes back bit-identical, across the whole
+    // exponent range including denormals.
+    const std::vector<double> probes = {
+        1.0,       0.1,        3.141592653589793, 1e-300,
+        1e300,     DBL_MIN,    DBL_MAX,           DBL_EPSILON,
+        5e-324 /* smallest denormal */,           123456.789};
+    for (double v : probes) {
+        ExactSum s;
+        s.add(v);
+        EXPECT_EQ(s.value(), v) << v;
+    }
+}
+
+TEST(ExactSum, IntegerSumsAreExact)
+{
+    // Integer-valued doubles whose total fits in 53 bits must sum
+    // with no error at all.
+    util::Rng rng(0xe5a);
+    std::uint64_t total = 0;
+    ExactSum s;
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t k = rng.uniformInt(1u << 20);
+        total += k;
+        s.add(static_cast<double>(k));
+    }
+    EXPECT_EQ(s.value(), static_cast<double>(total));
+}
+
+TEST(ExactSum, ScaledIntegerOracle)
+{
+    // Values of the form k * 2^-20 sum exactly to (sum k) * 2^-20,
+    // which we can compute in integers — a bit-exact oracle with a
+    // fractional part.
+    util::Rng rng(0x0ac1e);
+    std::uint64_t total = 0;
+    ExactSum s;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t k = rng.uniformInt(1ull << 30);
+        total += k;
+        s.add(std::ldexp(static_cast<double>(k), -20));
+    }
+    EXPECT_EQ(s.value(), std::ldexp(static_cast<double>(total), -20));
+}
+
+TEST(ExactSum, TinyValuesAreNeverLost)
+{
+    // 2^20 additions of 2^-100: a naive double accumulator starting
+    // from a large value would drop them all; the exact sum is
+    // 2^-80 on the nose.
+    ExactSum s;
+    for (int i = 0; i < (1 << 20); ++i)
+        s.add(std::ldexp(1.0, -100));
+    EXPECT_EQ(s.value(), std::ldexp(1.0, -80));
+
+    // And they still surface next to a huge addend via the sticky
+    // bit: 2^53 + 1 alone ties-to-even down to 2^53, but any extra
+    // mass below the half-ulp breaks the tie upward.
+    ExactSum tie;
+    tie.add(std::ldexp(1.0, 53));
+    tie.add(1.0);
+    EXPECT_EQ(tie.value(), std::ldexp(1.0, 53));
+
+    ExactSum sticky;
+    sticky.add(std::ldexp(1.0, 53));
+    sticky.add(1.0);
+    sticky.add(std::ldexp(1.0, -60));
+    EXPECT_EQ(sticky.value(), std::ldexp(1.0, 53) + 2.0);
+}
+
+TEST(ExactSum, WideDynamicRange)
+{
+    // Huge and tiny coexist: the result is the correctly rounded
+    // double nearest the exact total.
+    ExactSum s;
+    s.add(1e308);
+    s.add(5e-324);
+    EXPECT_EQ(s.value(), 1e308);
+
+    // Exactly representable at full scale: the ulp of 2^1000 is
+    // 2^948, so 2^1000 + 2^948 comes back with no rounding.
+    ExactSum b;
+    b.add(std::ldexp(1.0, 1000));
+    b.add(std::ldexp(1.0, 948));
+    EXPECT_EQ(b.value(),
+              std::ldexp(1.0, 1000) + std::ldexp(1.0, 948));
+
+    // Half-ulp tie at full scale resolves to even...
+    ExactSum tie;
+    tie.add(std::ldexp(1.0, 1000));
+    tie.add(std::ldexp(1.0, 947));
+    EXPECT_EQ(tie.value(), std::ldexp(1.0, 1000));
+
+    // ...unless sticky mass far below the window breaks it upward.
+    ExactSum sticky;
+    sticky.add(std::ldexp(1.0, 1000));
+    sticky.add(std::ldexp(1.0, 947));
+    sticky.add(std::ldexp(1.0, -500));
+    EXPECT_EQ(sticky.value(),
+              std::ldexp(1.0, 1000) + std::ldexp(1.0, 948));
+}
+
+TEST(ExactSum, PermutationInvariant)
+{
+    // The defining property: any ordering of the same multiset gives
+    // bit-identical value().
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+        util::Rng rng(seed);
+        std::vector<double> values;
+        for (int i = 0; i < 3000; ++i) {
+            // Mix magnitudes so double addition WOULD be
+            // order-sensitive.
+            const int scale =
+                static_cast<int>(rng.uniformInt(120)) - 60;
+            values.push_back(
+                std::ldexp(rng.uniform(0.5, 1.0), scale));
+        }
+        const double reference = sumOf(values);
+
+        for (int perm = 0; perm < 10; ++perm) {
+            for (std::size_t i = values.size(); i > 1; --i)
+                std::swap(values[i - 1], values[rng.uniformInt(i)]);
+            EXPECT_EQ(sumOf(values), reference)
+                << "seed " << seed << " perm " << perm;
+        }
+    }
+}
+
+TEST(ExactSum, MergeEqualsSinglePass)
+{
+    // Sharding then merging — in any shard order — matches the
+    // single accumulator bit-for-bit.
+    for (std::uint64_t seed : {10ull, 20ull, 30ull}) {
+        util::Rng rng(seed);
+        const int shards = 2 + static_cast<int>(rng.uniformInt(14));
+        ExactSum single;
+        std::vector<ExactSum> parts(static_cast<std::size_t>(shards));
+        for (int i = 0; i < 5000; ++i) {
+            const double v =
+                rng.uniform(0.0, 1e6) + rng.uniform(0.0, 1e-6);
+            single.add(v);
+            parts[rng.uniformInt(static_cast<std::uint64_t>(shards))]
+                .add(v);
+        }
+
+        std::vector<std::size_t> order(parts.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        for (int perm = 0; perm < 6; ++perm) {
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.uniformInt(i)]);
+            ExactSum merged;
+            for (std::size_t i : order)
+                merged.merge(parts[i]);
+            EXPECT_EQ(merged.value(), single.value())
+                << "seed " << seed << " perm " << perm;
+        }
+    }
+}
+
+TEST(ExactSum, MatchesLongDoubleOnUniformSamples)
+{
+    // Sanity anchor against an independent accumulator: for sums
+    // well inside long double's 64-bit mantissa, the exact sum and
+    // the long-double sum round to the same double.
+    util::Rng rng(0x1096d);
+    long double oracle = 0.0L;
+    ExactSum s;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(0.0, 1000.0);
+        oracle += static_cast<long double>(v);
+        s.add(v);
+    }
+    EXPECT_NEAR(s.value(), static_cast<double>(oracle),
+                std::abs(static_cast<double>(oracle)) * 1e-15);
+}
+
+} // namespace
+} // namespace flash

@@ -123,14 +123,171 @@ TEST(LatencyHistogram, MergeEqualsSinglePass)
         EXPECT_EQ(merged.count(), single.count());
         EXPECT_DOUBLE_EQ(merged.min(), single.min());
         EXPECT_DOUBLE_EQ(merged.max(), single.max());
-        // Sum is a float accumulation: order-sensitive, near-equal.
-        EXPECT_NEAR(merged.sum(), single.sum(),
-                    1e-9 * std::abs(single.sum()));
+        // Sums are ExactSum-backed: bit-identical however sharded.
+        EXPECT_EQ(merged.sum(), single.sum());
         for (int i = 0; i <= 1000; ++i) {
             const double q = i / 1000.0;
             EXPECT_DOUBLE_EQ(merged.percentile(q), single.percentile(q))
                 << "q = " << q;
         }
+    }
+}
+
+TEST(LatencyHistogram, PermutedShardMergeIsByteIdentical)
+{
+    // The fleet-rollup property: merging K per-shard histograms in
+    // ANY permutation exports the same bytes as the single-pass fill
+    // — including the floating-point sum, which ExactSum makes a pure
+    // function of the observation multiset.
+    for (std::uint64_t seed : {0x1ull, 0x2ull, 0x3ull, 0x4ull, 0x5ull}) {
+        util::Rng rng(seed);
+        const std::size_t n = 500 + rng.uniformInt(2000);
+        const auto values = randomLatencies(seed ^ 0xf1ee7, n);
+        const int shards = 1 + static_cast<int>(rng.uniformInt(16));
+
+        LatencyHistogram single;
+        std::vector<LatencyHistogram> parts(
+            static_cast<std::size_t>(shards));
+        for (double v : values) {
+            single.add(v);
+            parts[rng.uniformInt(static_cast<std::uint64_t>(shards))]
+                .add(v);
+        }
+
+        std::ostringstream singleJson;
+        single.writeJson(singleJson);
+
+        // Merge the shards in several random permutations; every
+        // ordering must serialize to the same bytes.
+        std::vector<std::size_t> order(parts.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        for (int perm = 0; perm < 8; ++perm) {
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.uniformInt(i)]);
+            LatencyHistogram merged;
+            for (std::size_t i : order)
+                merged.merge(parts[i]);
+            std::ostringstream mergedJson;
+            merged.writeJson(mergedJson);
+            EXPECT_EQ(mergedJson.str(), singleJson.str())
+                << "seed " << seed << " perm " << perm;
+        }
+
+        // Sort-oracle check on the single-pass percentiles, so the
+        // byte-equality above is anchored to a correct baseline.
+        std::vector<double> sample(values.begin(), values.end());
+        for (double q : {0.5, 0.9, 0.99, 0.999}) {
+            const double expect = oraclePercentile(sample, q);
+            const double tol =
+                expect * (2.0 / LatencyHistogram::kSubBins) + 1.0;
+            EXPECT_NEAR(single.percentile(q), expect, tol)
+                << "seed " << seed << " q " << q;
+        }
+    }
+}
+
+TEST(MetricsRegistry, PermutedRegistryMergeIsByteIdentical)
+{
+    // Satellite of the fleet work: K per-device registries merged in
+    // any permutation (plain or prefixed) export byte-for-byte the
+    // JSON of the registry that observed everything directly.
+    for (std::uint64_t seed : {7ull, 8ull, 9ull}) {
+        util::Rng rng(seed);
+        const int devices = 2 + static_cast<int>(rng.uniformInt(12));
+        const std::vector<std::string> counters = {"ssd.read.page_ops",
+                                                   "ssd.read.attempts"};
+        const std::vector<std::string> hists = {
+            "ssd.read.request_latency_us", "frontend.queue_wait_us"};
+
+        MetricsRegistry single;
+        std::vector<MetricsRegistry> shards(
+            static_cast<std::size_t>(devices));
+        for (int i = 0; i < 4000; ++i) {
+            const auto d = rng.uniformInt(
+                static_cast<std::uint64_t>(devices));
+            const auto &c = counters[rng.uniformInt(counters.size())];
+            const std::uint64_t delta = rng.uniformInt(7);
+            single.add(c, delta);
+            shards[d].add(c, delta);
+            const auto &h = hists[rng.uniformInt(hists.size())];
+            const double v = rng.uniform(0.0, 1e4);
+            single.observe(h, v);
+            shards[d].observe(h, v);
+        }
+
+        std::vector<std::size_t> order(shards.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        for (int perm = 0; perm < 6; ++perm) {
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.uniformInt(i)]);
+            MetricsRegistry merged;
+            MetricsRegistry prefixed;
+            for (std::size_t i : order) {
+                merged.merge(shards[i]);
+                prefixed.mergePrefixed(shards[i], "fleet.");
+            }
+            EXPECT_EQ(merged.toJson(), single.toJson())
+                << "seed " << seed << " perm " << perm;
+
+            MetricsRegistry singlePrefixed;
+            singlePrefixed.mergePrefixed(single, "fleet.");
+            EXPECT_EQ(prefixed.toJson(), singlePrefixed.toJson())
+                << "seed " << seed << " perm " << perm;
+        }
+    }
+}
+
+TEST(LatencyHistogram, BinsJsonRoundTrip)
+{
+    const auto values = randomLatencies(0xb145, 3000);
+    LatencyHistogram h;
+    for (double v : values)
+        h.add(v);
+
+    std::ostringstream os;
+    h.writeBinsJson(os);
+    const auto doc = util::parseJson(os.str());
+    const LatencyHistogram back = LatencyHistogram::fromBinsJson(doc);
+
+    EXPECT_EQ(back.count(), h.count());
+    EXPECT_DOUBLE_EQ(back.min(), h.min());
+    EXPECT_DOUBLE_EQ(back.max(), h.max());
+    EXPECT_EQ(back.bins(), h.bins());
+    // The serialized sum is the exactly-rounded double, so the
+    // round-tripped sum equals it bit-for-bit.
+    EXPECT_EQ(back.sum(), h.sum());
+    for (int i = 0; i <= 100; ++i) {
+        const double q = i / 100.0;
+        EXPECT_DOUBLE_EQ(back.percentile(q), h.percentile(q));
+    }
+
+    // Re-serializing the rebuilt histogram reproduces the bytes.
+    std::ostringstream os2;
+    back.writeBinsJson(os2);
+    EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(LatencyHistogram, TailMassPartitionsAcrossShards)
+{
+    // countFromBin at the rollup's percentile bin must partition
+    // exactly across shards — the fleet tail-attribution invariant.
+    const auto values = randomLatencies(0x7a11, 4000);
+    util::Rng rng(0x7a11);
+    LatencyHistogram fleet;
+    std::vector<LatencyHistogram> devices(8);
+    for (double v : values) {
+        fleet.add(v);
+        devices[rng.uniformInt(devices.size())].add(v);
+    }
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const int bin = fleet.percentileBin(q);
+        ASSERT_GE(bin, 0);
+        std::uint64_t total = 0;
+        for (const auto &d : devices)
+            total += d.countFromBin(bin);
+        EXPECT_EQ(total, fleet.countFromBin(bin)) << "q = " << q;
     }
 }
 

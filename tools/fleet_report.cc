@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fleet tail-attribution report over a bench_fleet --fleet-out file.
+ *
+ *   fleet_report FLEET_FILE [--health FILE] [--top K] [--json FILE]
+ *
+ * Reads the per-device JSON lines back (malformed or truncated lines
+ * are skipped and counted, never fatal), merges the lossless latency
+ * bins into the fleet distribution, and attributes the p99/p999 tail
+ * mass to devices (top-K offender table) and cohorts. Exits 1 when
+ * the exactness gate fails: per-device tail counts must partition the
+ * fleet tail mass with integer equality, and the re-merged bins must
+ * reproduce the file's rollup record. --health scans a fleet health
+ * file for completeness (well-formed lines, per-device ordering).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ssd/fleet/report.hh"
+#include "util/logging.hh"
+
+using namespace flash;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: fleet_report FLEET_FILE [--health FILE] "
+                 "[--top K] [--json FILE]\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string fleet_file, health_file, json_out;
+    int top_k = 10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--health" && i + 1 < argc) {
+            health_file = argv[++i];
+        } else if (a == "--top" && i + 1 < argc) {
+            top_k = std::atoi(argv[++i]);
+            if (top_k < 1)
+                usage();
+        } else if (a == "--json" && i + 1 < argc) {
+            json_out = argv[++i];
+        } else if (!a.empty() && a[0] == '-') {
+            usage();
+        } else if (fleet_file.empty()) {
+            fleet_file = a;
+        } else {
+            usage();
+        }
+    }
+    if (fleet_file.empty())
+        usage();
+
+    std::ifstream in(fleet_file);
+    if (!in) {
+        std::cerr << "fleet_report: cannot open " << fleet_file << '\n';
+        return 2;
+    }
+    const ssd::fleet::FleetReportData data =
+        ssd::fleet::parseFleetLines(in);
+    if (data.devices.empty()) {
+        std::cerr << "fleet_report: no device records in " << fleet_file
+                  << " (" << data.malformedLines << " malformed line(s))\n";
+        return 1;
+    }
+    const ssd::fleet::TailAttribution tail =
+        ssd::fleet::attributeTail(data);
+
+    ssd::fleet::printReport(std::cout, data, tail, top_k);
+
+    if (!health_file.empty()) {
+        std::ifstream hin(health_file);
+        if (!hin) {
+            std::cerr << "fleet_report: cannot open " << health_file
+                      << '\n';
+            return 2;
+        }
+        const ssd::fleet::HealthScan scan =
+            ssd::fleet::scanHealthLines(hin);
+        std::cout << "\nhealth: " << scan.lines << " records from "
+                  << scan.devices << " device(s), " << scan.malformed
+                  << " malformed line(s), per-device runs "
+                  << (scan.ordered ? "contiguous" : "INTERLEAVED")
+                  << '\n';
+        if (!scan.ordered) {
+            std::cerr << "fleet_report: health records interleave "
+                         "across devices\n";
+            return 1;
+        }
+    }
+
+    if (!json_out.empty()) {
+        std::ofstream jf(json_out);
+        if (!jf) {
+            std::cerr << "fleet_report: cannot open " << json_out << '\n';
+            return 2;
+        }
+        ssd::fleet::writeReportJson(jf, data, tail);
+        jf << '\n';
+    }
+
+    const std::string mismatch =
+        ssd::fleet::checkReconciliation(data, tail);
+    if (!mismatch.empty()) {
+        std::cerr << "fleet_report: reconciliation FAILED: " << mismatch
+                  << '\n';
+        return 1;
+    }
+    std::cout << "\nreconciliation: per-device tail counts partition the "
+                 "fleet tail mass exactly"
+              << (data.haveRollup
+                      ? "; merged bins reproduce the rollup record"
+                      : "")
+              << '\n';
+    return 0;
+}
