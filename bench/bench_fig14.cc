@@ -14,6 +14,7 @@
 #include "bench_support.hh"
 #include "core/read_policy.hh"
 #include "core/voltage_cache.hh"
+#include "core/voltage_model.hh"
 #include "ssd/health_monitor.hh"
 #include "ssd/scrubber/scrubber.hh"
 #include "ssd/ssd_sim.hh"
@@ -32,6 +33,8 @@ main(int argc, char **argv)
     const std::string health_out = bench::healthOutArg(argc, argv);
     const double health_interval = bench::healthIntervalArg(argc, argv);
     const bool use_cache = bench::flagArg(argc, argv, "voltage-cache");
+    const bool use_model = bench::voltageModelArg(argc, argv);
+    const double model_confidence = bench::modelConfidenceArg(argc, argv);
     const double scrub_interval = bench::scrubIntervalArg(argc, argv);
     const int scrub_budget = bench::scrubBudgetArg(argc, argv, 64);
     const double refresh_rber = bench::refreshRberArg(argc, argv);
@@ -90,6 +93,39 @@ main(int argc, char **argv)
                   << "\n\n";
     }
 
+    // --voltage-model: a cost source measured with the online
+    // predictive voltage model attached. A training pass on its own
+    // read stream feeds the regression from ordinary sentinel
+    // inferences; the measurement pass on a second stream then
+    // samples the trained model's confidence-gated assist-free
+    // distribution. Both passes are serial because model state
+    // depends on read order.
+    core::VoltageModelConfig mcfg;
+    mcfg.confidenceThreshold = model_confidence;
+    core::VoltagePredictor model(mcfg);
+    std::optional<ssd::EmpiricalReadCost> mcost;
+    if (use_model) {
+        core::SentinelPolicy learned(tables, chip.model().defaultVoltages());
+        learned.attachModel(&model);
+        ssd::measureReadCost(chip, bench::kEvalBlock, learned, ecc_model,
+                             overlay, msb, 2, 1, 4);
+        mcost = ssd::measureReadCost(chip, bench::kEvalBlock, learned,
+                                     ecc_model, overlay, msb, 2, 1, 5);
+        model.exportMetrics(mcost->extraMetrics());
+        const auto ms = model.stats();
+        std::cout << "voltage model: " << ms.observes
+                  << " observations, fast path " << ms.fastHits << "/"
+                  << ms.fastAttempts << " hits ("
+                  << ms.lowConfidence << " below gate); assist reads/read "
+                  << util::fmt(scost.meanAssistReads(), 2) << " -> "
+                  << util::fmt(mcost->meanAssistReads(), 2)
+                  << ", retries " << util::fmt(scost.meanRetries(), 2)
+                  << " -> " << util::fmt(mcost->meanRetries(), 2)
+                  << ", senses " << util::fmt(scost.meanSenseOps(), 1)
+                  << " -> " << util::fmt(mcost->meanSenseOps(), 1)
+                  << "\n\n";
+    }
+
     // --scrub-interval: an A/B comparison against the same sentinel
     // SSD with the background scrubber running. The "warm" per-read
     // cost — what a foreground read pays when the scrubber has just
@@ -126,6 +162,8 @@ main(int argc, char **argv)
                                      "current flash (us)", "sentinel (us)"};
     if (use_cache)
         columns.push_back("sentinel+cache (us)");
+    if (use_model)
+        columns.push_back("sentinel+model (us)");
     if (use_scrub)
         columns.push_back("sentinel+scrub (us)");
     columns.push_back("reduction");
@@ -157,6 +195,8 @@ main(int argc, char **argv)
         health = std::make_unique<ssd::HealthMonitor>(health_file, hopt);
         if (use_cache)
             health->attachCache(&cache);
+        if (use_model)
+            health->attachModel(&model);
         health->beginRun("fig14-chip");
         health->probeBlock(chip, bench::kEvalBlock, &tables, overlay, 0.0);
     }
@@ -180,10 +220,23 @@ main(int argc, char **argv)
                 - 1.0;
     };
 
+    // Per-read sense operations of one replay.
+    const auto mean_senses = [](const ssd::SimReport &r) {
+        const double ops =
+            static_cast<double>(r.metrics.counter("ssd.read.page_ops"));
+        return ops == 0.0
+            ? 0.0
+            : static_cast<double>(r.metrics.counter("ssd.read.sense_ops"))
+                / ops;
+    };
+
     double sum = 0.0;
     int n = 0;
     double ab_off_retry = 0.0, ab_on_retry = 0.0;
     double ab_off_p99 = 0.0, ab_on_p99 = 0.0;
+    double mab_base_retry = 0.0, mab_model_retry = 0.0;
+    double mab_base_sense = 0.0, mab_model_sense = 0.0;
+    double mab_base_p99 = 0.0, mab_model_p99 = 0.0;
     std::uint64_t warm_reads = 0, cold_reads = 0;
     ssd::ScrubberStats scrub_total;
     for (const auto &w : trace::msrWorkloads()) {
@@ -211,6 +264,25 @@ main(int argc, char **argv)
             if (health)
                 health->beginRun(w.name + "." + ccost->name());
             rc = sim_c.run(tr);
+        }
+        // The model arm, A/B'd against the cache arm when both run
+        // (else against plain sentinel): same trace, cost source
+        // measured with the trained predictor attached.
+        std::optional<ssd::SimReport> rm;
+        if (mcost) {
+            ssd::SsdSim sim_m(cfg, timing, *mcost, 1);
+            sim_m.setSpanTrace(span_trace.get());
+            sim_m.setHealthMonitor(health.get());
+            if (health)
+                health->beginRun(w.name + "." + mcost->name());
+            rm = sim_m.run(tr);
+            const ssd::SimReport &base = rc ? *rc : rs;
+            mab_base_retry += mean_retries(base);
+            mab_model_retry += mean_retries(*rm);
+            mab_base_sense += mean_senses(base);
+            mab_model_sense += mean_senses(*rm);
+            mab_base_p99 += util::percentile(base.readLatencies, 0.99);
+            mab_model_p99 += util::percentile(rm->readLatencies, 0.99);
         }
 
         // The scrub-on arm: same trace, same cold cost source, plus a
@@ -273,6 +345,11 @@ main(int argc, char **argv)
                              << "\": ";
                 rc->writeJson(metrics_file);
             }
+            if (rm) {
+                metrics_file << ", \"" << util::jsonEscape(rm->policy)
+                             << "\": ";
+                rm->writeJson(metrics_file);
+            }
             if (ro) {
                 metrics_file << ", \"" << util::jsonEscape(ro->policy)
                              << "\": ";
@@ -293,6 +370,8 @@ main(int argc, char **argv)
             util::fmt(rs.readLatencyUs.mean(), 0)};
         if (rc)
             row.push_back(util::fmt(rc->readLatencyUs.mean(), 0));
+        if (rm)
+            row.push_back(util::fmt(rm->readLatencyUs.mean(), 0));
         if (ro)
             row.push_back(util::fmt(ro->readLatencyUs.mean(), 0));
         row.push_back(util::fmtPct(red));
@@ -321,6 +400,21 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\nmean read-latency reduction: " << util::fmtPct(sum / n)
               << " (paper: 74%)\n";
+
+    if (use_model) {
+        std::cout
+            << "\nmodel A/B over " << n << " traces (sentinel"
+            << (use_cache ? "+cache" : "") << " -> sentinel+model):\n"
+            << "  mean retries/read:     "
+            << util::fmt(mab_base_retry / n, 3) << " -> "
+            << util::fmt(mab_model_retry / n, 3) << '\n'
+            << "  mean senses/read:      "
+            << util::fmt(mab_base_sense / n, 3) << " -> "
+            << util::fmt(mab_model_sense / n, 3) << '\n'
+            << "  mean p99 read latency: "
+            << util::fmt(mab_base_p99 / n, 0) << " us -> "
+            << util::fmt(mab_model_p99 / n, 0) << " us\n";
+    }
 
     if (use_scrub) {
         std::cout

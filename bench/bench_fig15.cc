@@ -11,6 +11,7 @@
 #include "bench_support.hh"
 #include "core/policy_metrics.hh"
 #include "core/sentinel_probe.hh"
+#include "core/voltage_model.hh"
 #include "nandsim/read_seq.hh"
 #include "ssd/health_monitor.hh"
 
@@ -25,6 +26,8 @@ main(int argc, char **argv)
     const double scrub_interval = bench::scrubIntervalArg(argc, argv);
     const int scrub_budget = bench::scrubBudgetArg(argc, argv, 16);
     const double refresh_rber = bench::refreshRberArg(argc, argv);
+    const bool use_model = bench::voltageModelArg(argc, argv);
+    const double model_confidence = bench::modelConfidenceArg(argc, argv);
     bench::header("Figure 15",
                   "% wordlines achieving the optimal voltage after "
                   "inference / calibration (QLC, P/E 3000 + 1 y)",
@@ -165,6 +168,57 @@ main(int argc, char **argv)
             ++checkpoint;
         }
         probes.print(std::cout);
+    }
+
+    // --voltage-model: predict-then-observe across the same retention
+    // checkpoints. At each checkpoint the model first predicts the
+    // block's sentinel offset from aging features alone — retention
+    // dwell is the only feature that changes — then ingests that
+    // checkpoint's probes, so earlier checkpoints train later
+    // predictions and the table shows the regression generalizing
+    // over dwell. Runs last: it re-ages the block.
+    if (use_model) {
+        core::VoltageModelConfig mcfg;
+        mcfg.confidenceThreshold = model_confidence;
+        core::VoltagePredictor model(mcfg);
+        const core::InferenceEngine engine(tables,
+                                           chip.model().defaultVoltages());
+        const nand::ReadClock model_clock(0x6d6f64656c);
+        const int wl_count = chip.geometry().wordlinesPerBlock();
+        const int stride = std::max(1, wl_count / scrub_budget);
+
+        util::TextTable mt;
+        mt.header({"retention (h)", "predicted (DAC)", "confidence",
+                   "gated", "probed mean (DAC)", "residual (DAC)"});
+        std::cout << "\nvoltage model predict-then-observe ("
+                  << scrub_budget << " probes per checkpoint):\n";
+        int checkpoint = 0;
+        for (const double hours : {0.0, 24.0, 720.0, bench::kOneYearHours}) {
+            bench::ageBlock(chip, bench::kEvalBlock, 3000, hours);
+            const core::BlockEpoch epoch =
+                core::epochOf(chip.blockAge(bench::kEvalBlock));
+            const core::VoltagePrediction pred =
+                model.predict(bench::kEvalBlock, epoch);
+            double offset = 0.0;
+            int count = 0;
+            for (int wl = 0; wl < wl_count && count < scrub_budget;
+                 wl += stride) {
+                const auto p = core::probeSentinel(
+                    chip, bench::kEvalBlock, wl, engine, overlay,
+                    model_clock.at(bench::kEvalBlock, wl,
+                                   static_cast<std::uint64_t>(checkpoint)));
+                model.observe(bench::kEvalBlock, epoch, p.sentinelOffset);
+                offset += p.sentinelOffset;
+                ++count;
+            }
+            offset /= count;
+            mt.row({util::fmt(hours, 0), util::fmt(pred.predicted, 1),
+                    util::fmt(pred.confidence, 3),
+                    pred.confident ? "yes" : "no", util::fmt(offset, 1),
+                    util::fmt(offset - pred.predicted, 1)});
+            ++checkpoint;
+        }
+        mt.print(std::cout);
     }
 
     bench::footer("inference alone finds the optimum for the large "

@@ -81,6 +81,8 @@ main(int argc, char **argv)
     const double health_interval = bench::healthIntervalArg(argc, argv);
     const double scrub_interval = bench::scrubIntervalArg(argc, argv);
     const int scrub_budget = bench::scrubBudgetArg(argc, argv, 16);
+    const bool use_model = bench::voltageModelArg(argc, argv);
+    const double model_confidence = bench::modelConfidenceArg(argc, argv);
 
     bench::header("Fleet sweep",
                   std::to_string(devices)
@@ -104,6 +106,10 @@ main(int argc, char **argv)
     if (scrub_interval > 0.0) {
         cfg.scrub.intervalUs = scrub_interval;
         cfg.scrub.probeBudget = scrub_budget;
+    }
+    if (use_model) {
+        cfg.model = true;
+        cfg.modelConfig.confidenceThreshold = model_confidence;
     }
     cfg.cohorts = ssd::fleet::defaultCohorts();
     if (shuffle) {

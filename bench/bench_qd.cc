@@ -15,10 +15,12 @@
 
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench_support.hh"
 #include "core/read_policy.hh"
+#include "core/voltage_model.hh"
 #include "ssd/health_monitor.hh"
 #include "ssd/host_frontend.hh"
 #include "ssd/ssd_sim.hh"
@@ -80,6 +82,8 @@ main(int argc, char **argv)
         bench::longArg(argc, argv, "qd-max", 256, 1, 4096));
     const double rate =
         bench::doubleArg(argc, argv, "rate", 0.02, 1e-9, 1e6);
+    const bool use_model = bench::voltageModelArg(argc, argv);
+    const double model_confidence = bench::modelConfidenceArg(argc, argv);
     std::string workload = bench::stringArg(argc, argv, "workload");
     if (workload.empty())
         workload = "usr_0";
@@ -118,6 +122,32 @@ main(int argc, char **argv)
               << "workload " << workload << ", " << requests
               << " requests per point, " << queues << " queues, mode "
               << (mode_name.empty() ? "closed" : mode_name) << "\n\n";
+
+    // --voltage-model: sweep the sentinel policy with a trained
+    // predictor attached instead — the queueing view of the
+    // confidence-gated assist-free read. Training and measurement
+    // passes are serial because model state depends on read order.
+    core::VoltageModelConfig mcfg;
+    mcfg.confidenceThreshold = model_confidence;
+    core::VoltagePredictor model(mcfg);
+    std::optional<ssd::EmpiricalReadCost> mcost;
+    if (use_model) {
+        core::SentinelPolicy learned(tables,
+                                     chip.model().defaultVoltages());
+        learned.attachModel(&model);
+        ssd::measureReadCost(chip, bench::kEvalBlock, learned, ecc_model,
+                             overlay, msb, 2, 1, 4);
+        mcost = ssd::measureReadCost(chip, bench::kEvalBlock, learned,
+                                     ecc_model, overlay, msb, 2, 1, 5);
+        model.exportMetrics(mcost->extraMetrics());
+        std::cout << "voltage model: sweeping " << mcost->name()
+                  << " cost instead ("
+                  << util::fmt(mcost->meanRetries(), 2) << " retries / "
+                  << util::fmt(mcost->meanSenseOps(), 1)
+                  << " senses per read)\n\n";
+    }
+    ssd::ReadCostSource &sweep_cost =
+        mcost ? static_cast<ssd::ReadCostSource &>(*mcost) : vcost;
 
     const auto spec = trace::msrWorkload(workload);
     const auto tr = trace::generateTrace(
@@ -179,12 +209,12 @@ main(int argc, char **argv)
 
         if (health)
             health->beginRun("qd" + std::to_string(qd) + ".sequential");
-        const ArmResult seq = runArm(seq_cfg, timing, vcost, fcfg, tr,
+        const ArmResult seq = runArm(seq_cfg, timing, sweep_cost, fcfg, tr,
                                      span_trace.get(), health.get());
         if (health)
             health->beginRun("qd" + std::to_string(qd) + ".pipelined");
-        const ArmResult pipe = runArm(pipe_cfg, timing, vcost, fcfg, tr,
-                                      span_trace.get(), health.get());
+        const ArmResult pipe = runArm(pipe_cfg, timing, sweep_cost, fcfg,
+                                      tr, span_trace.get(), health.get());
 
         const double delta = seq.frontend.readP99Us > 0.0
             ? 1.0 - pipe.frontend.readP99Us / seq.frontend.readP99Us

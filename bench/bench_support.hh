@@ -265,6 +265,27 @@ refreshRberArg(int argc, char **argv)
 }
 
 /**
+ * Presence of the bare `--voltage-model` flag: attach the online
+ * predictive voltage model (core::VoltagePredictor) to the measured
+ * sentinel policy / fleet devices.
+ */
+inline bool
+voltageModelArg(int argc, char **argv)
+{
+    return flagArg(argc, argv, "voltage-model");
+}
+
+/**
+ * `--model-confidence C`: confidence a model prediction needs to gate
+ * the assist-free read, in [0, 1]; @p fallback when absent.
+ */
+inline double
+modelConfidenceArg(int argc, char **argv, double fallback = 0.5)
+{
+    return doubleArg(argc, argv, "model-confidence", fallback, 0.0, 1.0);
+}
+
+/**
  * `--requests N`: trace records per synthesized workload; @p fallback
  * when absent. CI shrinks this so span-gated replays stay cheap.
  */

@@ -285,15 +285,44 @@ SentinelPolicy::read(ReadContext &ctx) const
 {
     ReadSessionResult session;
 
+    BlockEpoch epoch;
+    if (cache_ || model_)
+        epoch = epochOf(ctx.chip().blockAge(ctx.block()));
+
+    // Model-predicted fast path: a confident closed-form prediction
+    // reads directly at the predicted offset — one attempt, no assist
+    // sense, no cache dependency. A decode failure falls through to
+    // the cache/assist path below; the model is not re-fed its own
+    // prediction (only newly inferred or calibrated offsets train it).
+    if (model_) {
+        const VoltagePrediction pred =
+            model_->predict(ctx.block(), epoch);
+        if (util::SpanBuffer *sb = ctx.spanBuffer()) {
+            const int s = sb->begin("model_predict", ctx.spanRoot());
+            sb->num(s, "offset", pred.sentinelOffset);
+            sb->num(s, "confidence", pred.confidence);
+            sb->num(s, "gated", pred.confident ? 1.0 : 0.0);
+        }
+        if (pred.confident) {
+            model_->noteFastAttempt();
+            if (attempt(ctx, engine_.inferAt(pred.sentinelOffset).voltages,
+                        session)) {
+                model_->noteFastHit();
+                return session;
+            }
+            model_->noteFastMiss();
+        } else {
+            model_->noteLowConfidence();
+        }
+    }
+
     // Cache-seeded fast path: the block's last successful sentinel
     // offset, valid only under the aging epoch it was inferred in. A
     // decode at the seeded voltages costs one attempt and no assist
     // read. Exactly one lookup per session, so the cache's hit + miss
     // + stale counters sum to the policy's session count.
-    BlockEpoch epoch;
     std::optional<int> seeded;
     if (cache_) {
-        epoch = epochOf(ctx.chip().blockAge(ctx.block()));
         seeded = cache_->lookup(ctx.block(), epoch);
         if (seeded && attempt(ctx, engine_.inferAt(*seeded).voltages,
                               session)) {
@@ -338,6 +367,8 @@ SentinelPolicy::read(ReadContext &ctx) const
     if (attempt(ctx, inferred.voltages, session)) {
         if (cache_)
             cache_->store(ctx.block(), epoch, inferred.sentinelOffset);
+        if (model_)
+            model_->observe(ctx.block(), epoch, inferred.sentinelOffset);
         return session;
     }
 
@@ -384,6 +415,8 @@ SentinelPolicy::read(ReadContext &ctx) const
         if (attempt(ctx, engine_.inferAt(try_offset).voltages, session)) {
             if (cache_)
                 cache_->store(ctx.block(), epoch, try_offset);
+            if (model_)
+                model_->observe(ctx.block(), epoch, try_offset);
             return session;
         }
     }

@@ -22,6 +22,7 @@
 #include "core/characterization.hh"
 #include "core/inference.hh"
 #include "core/voltage_cache.hh"
+#include "core/voltage_model.hh"
 #include "ecc/ecc_model.hh"
 #include "nandsim/chip.hh"
 #include "nandsim/oracle.hh"
@@ -325,7 +326,12 @@ class SentinelPolicy : public ReadPolicy
     std::string
     name() const override
     {
-        return cache_ ? "sentinel+cache" : "sentinel";
+        std::string n = "sentinel";
+        if (model_)
+            n += "+model";
+        if (cache_)
+            n += "+cache";
+        return n;
     }
     ReadSessionResult read(ReadContext &ctx) const override;
 
@@ -357,12 +363,32 @@ class SentinelPolicy : public ReadPolicy
     /** Attached cache (nullptr when none). */
     VoltageCache *cache() const { return cache_; }
 
+    /**
+     * Attach a predictive voltage model (nullptr detaches). With a
+     * model, every session first solves a closed-form prediction for
+     * the block's chunk under its current aging epoch; when the
+     * prediction's confidence clears the model's threshold, the first
+     * attempt reads directly at the predicted offset with **no assist
+     * sense**, falling back to the normal first-read/assist path if
+     * that attempt fails to decode. Every successful inference or
+     * calibration feeds the model an observation, so confidence grows
+     * as the policy runs. Like the cache, an attached model makes
+     * sessions depend on which reads ran before them — deterministic
+     * harnesses attach one only to serial runs; without attachModel()
+     * behaviour is bit-identical to the model-free policy.
+     */
+    void attachModel(VoltagePredictor *model) { model_ = model; }
+
+    /** Attached model (nullptr when none). */
+    VoltagePredictor *model() const { return model_; }
+
   private:
     InferenceEngine engine_;
     CalibrationParams calibration_;
     int maxRetries_;
     std::vector<int> firstRead_;
     VoltageCache *cache_ = nullptr;
+    VoltagePredictor *model_ = nullptr;
 };
 
 } // namespace flash::core

@@ -73,4 +73,16 @@ VoltageCache::exportMetrics(util::MetricsRegistry &metrics) const
     metrics.add("cache.store", s.stores);
 }
 
+std::size_t
+VoltageCache::footprintBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Unordered-map nodes carry a hash + next pointer beside the
+    // payload; the bucket array is one pointer per bucket.
+    return sizeof(*this)
+        + entries_.size()
+        * (sizeof(std::pair<const int, Entry>) + 2 * sizeof(void *))
+        + entries_.bucket_count() * sizeof(void *);
+}
+
 } // namespace flash::core

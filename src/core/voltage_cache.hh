@@ -130,6 +130,13 @@ class VoltageCache
      */
     void exportMetrics(util::MetricsRegistry &metrics) const;
 
+    /**
+     * Heap + object bytes of the cache state, so per-device memory
+     * reports (fleet footprints) stay complete when a cache rides
+     * along.
+     */
+    std::size_t footprintBytes() const;
+
   private:
     struct Entry
     {

@@ -55,6 +55,7 @@ FleetConfig::validate() const
     ssd.validate();
     timing.validate();
     scrub.validate();
+    modelConfig.validate();
     for (const CohortSpec &c : cohorts)
         c.validate();
     if (!order.empty()) {
@@ -240,11 +241,22 @@ runDevice(const FleetConfig &cfg, const DeviceProfile &p, FleetEnv &env)
 
     SsdSim sim(cfg.ssd, cfg.timing, env.coldCost(p), p.seed);
 
+    // The per-device model + cache are owned here: each device learns
+    // only from its own probes, so devices stay independent and the
+    // fleet stays byte-identical at any thread count.
+    std::unique_ptr<core::VoltagePredictor> model;
+    std::unique_ptr<core::VoltageCache> cache;
+    if (cfg.model) {
+        model = std::make_unique<core::VoltagePredictor>(cfg.modelConfig);
+        cache = std::make_unique<core::VoltageCache>();
+    }
+
     std::unique_ptr<ScrubDevice> scrub_device;
     std::unique_ptr<Scrubber> scrubber;
     if (cfg.scrub.enabled()) {
         scrub_device = env.makeScrubDevice(p);
-        scrubber = std::make_unique<Scrubber>(cfg.scrub, *scrub_device);
+        scrubber = std::make_unique<Scrubber>(cfg.scrub, *scrub_device,
+                                              cache.get(), model.get());
         sim.attachScrubber(scrubber.get());
         sim.setWarmReadCost(env.warmCost(p));
     }
@@ -256,6 +268,8 @@ runDevice(const FleetConfig &cfg, const DeviceProfile &p, FleetEnv &env)
         hopt.intervalUs = cfg.healthIntervalUs;
         hopt.deviceId = p.device;
         health = std::make_unique<HealthMonitor>(health_buf, hopt);
+        if (model)
+            health->attachModel(model.get());
         health->beginRun("fleet." + p.cohortName);
         sim.setHealthMonitor(health.get());
     }
@@ -272,8 +286,14 @@ runDevice(const FleetConfig &cfg, const DeviceProfile &p, FleetEnv &env)
     out.readP99Us = rep.readP99Us;
     out.readP999Us = rep.readP999Us;
     out.metrics = std::move(rep.device.metrics);
+    if (model)
+        model->exportMetrics(out.metrics);
+    if (cache)
+        cache->exportMetrics(out.metrics);
     out.footprintBytes =
-        sim.footprintBytes() + out.metrics.footprintBytes();
+        sim.footprintBytes() + out.metrics.footprintBytes()
+        + (model ? model->footprintBytes() : 0)
+        + (cache ? cache->footprintBytes() : 0);
     out.healthLines = health_buf.str();
     return out;
 }

@@ -119,6 +119,20 @@ struct FleetConfig
     /** Background scrubbing per device (default: disabled). */
     ScrubberConfig scrub;
 
+    /**
+     * Per-device predictive voltage model (opt-in). Each device gets
+     * its own core::VoltagePredictor (plus a voltage cache) trained
+     * by its scrub probes; the scrubber switches to
+     * uncertainty-priority probing, model counters roll up as
+     * "fleet.model.*" / "fleet.cache.*", and both footprints join
+     * the device's footprint bytes. Without scrubbing the model
+     * rides along untrained (still reported, all zeros).
+     */
+    bool model = false;
+
+    /** Model knobs of the per-device predictors. */
+    core::VoltageModelConfig modelConfig;
+
     /** Health snapshot interval; <= 0 disables health telemetry. */
     double healthIntervalUs = 0.0;
 

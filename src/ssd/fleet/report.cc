@@ -285,6 +285,13 @@ scanHealthLines(std::istream &is)
         const int id = (dev != nullptr && dev->isNumber())
             ? static_cast<int>(dev->number)
             : -1;
+        const util::JsonValue *conf = v.find("model_mean_confidence");
+        if (conf == nullptr)
+            conf = v.find("model_confidence");
+        if (conf != nullptr && conf->isNumber()) {
+            ++scan.modelRecords;
+            scan.modelConfidence[id] = conf->number;
+        }
         if (id != current) {
             if (current >= -1)
                 finished.insert(current);

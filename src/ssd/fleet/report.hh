@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -149,6 +150,17 @@ struct HealthScan
      * resume after another device's began.
      */
     bool ordered = true;
+
+    /** Records carrying a predictive-model confidence field. */
+    std::uint64_t modelRecords = 0;
+
+    /**
+     * Last-seen model confidence per device id
+     * ("model_mean_confidence" of ssd snapshots, falling back to a
+     * chip probe's per-block "model_confidence"). Lets the report
+     * attribute tail mass to low-confidence devices/blocks.
+     */
+    std::map<int, double> modelConfidence;
 };
 
 /** Scan a fleet health file (skip-and-count, never throws). */

@@ -147,6 +147,16 @@ HealthMonitor::ssdSnapshot(double t_us, const util::MetricsRegistry &metrics,
         field(*os_, "cache_stale_rate", rate(static_cast<double>(s.stales),
                                              lookups));
     }
+    if (model_) {
+        const core::VoltagePredictor::Stats s = model_->stats();
+        field(*os_, "model_observes", static_cast<double>(s.observes));
+        field(*os_, "model_fast_hit_rate",
+              rate(static_cast<double>(s.fastHits),
+                   static_cast<double>(s.fastAttempts)));
+        field(*os_, "model_mean_confidence", model_->meanConfidence());
+        field(*os_, "model_confident_fraction",
+              model_->confidentFraction());
+    }
     if (scrub_ != nullptr && scrub_->enabled()) {
         const ScrubberStats &st = scrub_->stats();
         field(*os_, "scrub_probes", static_cast<double>(st.probes));
@@ -235,6 +245,18 @@ HealthMonitor::probeBlock(const nand::Chip &chip, int block,
     field(*os_, "rber_mean", rate(rber_sum, sampled));
     field(*os_, "rber_max", rber_max);
     field(*os_, "d_rate_mean", rate(d_sum, sampled));
+    if (model_) {
+        // Predicted-vs-probed: the model's closed-form offset under
+        // the block's current epoch against the probes' mean offset.
+        const core::VoltagePrediction pred =
+            model_->predict(block, core::epochOf(age));
+        field(*os_, "model_predicted_offset",
+              static_cast<double>(pred.sentinelOffset));
+        field(*os_, "model_residual",
+              rate(off_sum, sampled) - pred.predicted);
+        field(*os_, "model_confidence", pred.confidence);
+        field(*os_, "model_confident", pred.confident ? 1.0 : 0.0);
+    }
     if (engine) {
         field(*os_, "sentinel_offset_mean", rate(off_sum, sampled));
         // Only sampled layers appear; index i of "layer_offset" is

@@ -37,6 +37,7 @@
 
 #include "core/characterization.hh"
 #include "core/voltage_cache.hh"
+#include "core/voltage_model.hh"
 #include "nandsim/chip.hh"
 #include "util/metrics.hh"
 
@@ -90,6 +91,19 @@ class HealthMonitor
     void attachScrubber(const Scrubber *scrub) { scrub_ = scrub; }
 
     /**
+     * Attach a predictive voltage model (nullptr detaches). SSD
+     * snapshots then report the model's training volume, fast-path
+     * hit rate and confidence summary; chip probes add the model's
+     * predicted offset, its residual against the probed mean and the
+     * block's confidence, which is what lets fleet_report attribute
+     * tail mass to low-confidence blocks.
+     */
+    void attachModel(const core::VoltagePredictor *model)
+    {
+        model_ = model;
+    }
+
+    /**
      * Start a new observation run (e.g. one workload/policy pair).
      * Resets the windowed-delta state and stamps every following
      * record with @p context.
@@ -139,6 +153,7 @@ class HealthMonitor
     HealthMonitorOptions options_;
     const core::VoltageCache *cache_ = nullptr;
     const Scrubber *scrub_ = nullptr;
+    const core::VoltagePredictor *model_ = nullptr;
     std::string context_;
     std::uint64_t records_ = 0;
 

@@ -25,8 +25,9 @@ ScrubberConfig::validate() const
 }
 
 Scrubber::Scrubber(const ScrubberConfig &config, ScrubDevice &device,
-                   core::VoltageCache *cache)
-    : config_(config), device_(&device), cache_(cache)
+                   core::VoltageCache *cache,
+                   core::VoltagePredictor *model)
+    : config_(config), device_(&device), cache_(cache), model_(model)
 {
     config_.validate();
 }
@@ -62,13 +63,56 @@ Scrubber::runScan(const ScrubHost &host, double scan_us, double until_us)
 {
     ++stats_.scans;
     host.metrics->add("scrub.scans");
-    for (int i = 0; i < config_.probeBudget && totalBlocks_ > 0; ++i) {
-        const int gid = cursor_;
-        cursor_ = (cursor_ + 1) % totalBlocks_;
-        probeOne(host, gid, scan_us, until_us);
+    if (model_ != nullptr && totalBlocks_ > 0) {
+        // Uncertainty-priority probing: spend the scan's budget on
+        // the blocks the model is least confident about, so probes
+        // stop revisiting chunks the model already predicts well.
+        for (const int gid : uncertainBlocks(config_.probeBudget))
+            probeOne(host, gid, scan_us, until_us);
+    } else {
+        for (int i = 0; i < config_.probeBudget && totalBlocks_ > 0;
+             ++i) {
+            const int gid = cursor_;
+            cursor_ = (cursor_ + 1) % totalBlocks_;
+            probeOne(host, gid, scan_us, until_us);
+        }
     }
     if (config_.refreshPageBudget > 0 && !refreshQueue_.empty())
         runRefresh(host, scan_us, until_us);
+}
+
+std::vector<int>
+Scrubber::uncertainBlocks(int budget) const
+{
+    // Deterministic total order: confidence ascending, then probe
+    // count ascending (unprobed blocks first within a chunk), then
+    // block id. Depends only on the model/probe state, never on
+    // thread assignment.
+    std::vector<int> gids(static_cast<std::size_t>(totalBlocks_));
+    for (int gid = 0; gid < totalBlocks_; ++gid)
+        gids[static_cast<std::size_t>(gid)] = gid;
+    std::vector<double> conf(static_cast<std::size_t>(totalBlocks_));
+    for (int gid = 0; gid < totalBlocks_; ++gid)
+        conf[static_cast<std::size_t>(gid)] = model_->confidence(gid);
+    const auto before = [&](int a, int b) {
+        const double ca = conf[static_cast<std::size_t>(a)];
+        const double cb = conf[static_cast<std::size_t>(b)];
+        if (ca != cb)
+            return ca < cb;
+        const std::uint32_t pa = probeCount_[static_cast<std::size_t>(a)];
+        const std::uint32_t pb = probeCount_[static_cast<std::size_t>(b)];
+        if (pa != pb)
+            return pa < pb;
+        return a < b;
+    };
+    const std::size_t take = std::min(gids.size(),
+                                      static_cast<std::size_t>(
+                                          std::max(budget, 0)));
+    std::partial_sort(gids.begin(),
+                      gids.begin() + static_cast<std::ptrdiff_t>(take),
+                      gids.end(), before);
+    gids.resize(take);
+    return gids;
 }
 
 bool
@@ -103,6 +147,11 @@ Scrubber::probeOne(const ScrubHost &host, int gid, double scan_us,
         cache_->rewarm(gid, probe.epoch, probe.sentinelOffset);
         ++stats_.rewarms;
         host.metrics->add("scrub.rewarms");
+    }
+    if (model_) {
+        model_->observe(gid, probe.epoch, probe.sentinelOffset);
+        ++stats_.modelObserves;
+        host.metrics->add("scrub.model.observes");
     }
 
     if (host.spans) {
@@ -238,7 +287,14 @@ Scrubber::isWarm(int plane, int block, double now_us) const
     if (!init_)
         return false;
     const int gid = plane * blocksPerPlane_ + block;
-    return warmUntil_[static_cast<std::size_t>(gid)] > now_us;
+    if (warmUntil_[static_cast<std::size_t>(gid)] > now_us)
+        return true;
+    // A model-confident chunk predicts the offset without any probe;
+    // the probed-but-once requirement keeps a fresh model from
+    // claiming blocks the device never visited at all.
+    return model_ != nullptr
+        && probeCount_[static_cast<std::size_t>(gid)] > 0
+        && model_->confidentBlock(gid);
 }
 
 double
@@ -247,8 +303,8 @@ Scrubber::warmFraction(double now_us) const
     if (!init_ || totalBlocks_ == 0)
         return 0.0;
     int warm = 0;
-    for (double w : warmUntil_)
-        warm += w > now_us ? 1 : 0;
+    for (int gid = 0; gid < totalBlocks_; ++gid)
+        warm += isWarm(planeOf(gid), blockOf(gid), now_us) ? 1 : 0;
     return static_cast<double>(warm) / static_cast<double>(totalBlocks_);
 }
 

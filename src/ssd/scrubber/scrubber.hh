@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/voltage_cache.hh"
+#include "core/voltage_model.hh"
 #include "ssd/config.hh"
 #include "ssd/ftl.hh"
 #include "ssd/scrubber/scrub_device.hh"
@@ -103,6 +104,7 @@ struct ScrubberStats
     std::uint64_t probes = 0;         ///< probe reads issued
     std::uint64_t probesSkipped = 0;  ///< no idle gap before next request
     std::uint64_t rewarms = 0;        ///< cache entries re-warmed
+    std::uint64_t modelObserves = 0;  ///< probe offsets fed to the model
     std::uint64_t refreshQueued = 0;  ///< blocks queued for refresh
     std::uint64_t refreshPages = 0;   ///< pages migrated by refresh
     std::uint64_t refreshErases = 0;  ///< blocks erased by refresh
@@ -140,9 +142,19 @@ class Scrubber
      * @param device Probe-read source; must outlive the scrubber.
      * @param cache Voltage cache to re-warm (nullptr: probe-only —
      *        warm tracking still works, nothing persists offsets).
+     * @param model Predictive voltage model (nullptr: round-robin
+     *        probing). With a model, every probe's offset becomes a
+     *        training observation and each scan probes the blocks the
+     *        model is *least confident* about (uncertainty-priority,
+     *        ties broken by probe count then block id) instead of
+     *        walking the round-robin cursor; blocks whose chunk is
+     *        model-confident also count as warm past their probe
+     *        deadline, so the same probe budget holds a larger warm
+     *        fraction.
      */
     Scrubber(const ScrubberConfig &config, ScrubDevice &device,
-             core::VoltageCache *cache = nullptr);
+             core::VoltageCache *cache = nullptr,
+             core::VoltagePredictor *model = nullptr);
 
     /** Whether this scrubber does anything at all. */
     bool enabled() const { return config_.enabled(); }
@@ -179,6 +191,8 @@ class Scrubber
   private:
     void init(const ScrubHost &host);
     void runScan(const ScrubHost &host, double scan_us, double until_us);
+    /** Uncertainty-priority probe order of one scan (model runs). */
+    std::vector<int> uncertainBlocks(int budget) const;
     /** Probe one block; false when its plane had no idle gap. */
     bool probeOne(const ScrubHost &host, int gid, double scan_us,
                   double until_us);
@@ -190,6 +204,7 @@ class Scrubber
     ScrubberConfig config_;
     ScrubDevice *device_;
     core::VoltageCache *cache_;
+    core::VoltagePredictor *model_;
 
     bool init_ = false;
     int blocksPerPlane_ = 0;

@@ -79,4 +79,34 @@ ExactSum::value() const
                       64 * (top - 1) - kBiasBits);
 }
 
+void
+SignedExactSum::add(double v)
+{
+    if (!std::isfinite(v))
+        return;
+    if (v > 0.0)
+        pos_.add(v);
+    else
+        neg_.add(-v);
+}
+
+void
+SignedExactSum::merge(const SignedExactSum &other)
+{
+    pos_.merge(other.pos_);
+    neg_.merge(other.neg_);
+}
+
+double
+SignedExactSum::value() const
+{
+    return pos_.value() - neg_.value();
+}
+
+bool
+SignedExactSum::zero() const
+{
+    return pos_.zero() && neg_.zero();
+}
+
 } // namespace flash::util

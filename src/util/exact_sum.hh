@@ -73,6 +73,36 @@ class ExactSum
     std::array<std::uint64_t, kLimbs> limbs_{};
 };
 
+/**
+ * Exact, order-invariant sum of doubles of either sign: a pair of
+ * ExactSum accumulators (positive and negative magnitudes). The pair
+ * state is a pure function of the multiset of added values, so any
+ * insertion order or merge() permutation produces identical state.
+ * value() rounds each side once and subtracts — one more rounding
+ * than a single-sided ExactSum, but still deterministic in the
+ * multiset alone, which is the property the online least-squares
+ * moments need (features and offsets can be negative).
+ */
+class SignedExactSum
+{
+  public:
+    /** Add one value (NaN and infinite inputs contribute nothing). */
+    void add(double v);
+
+    /** Add another accumulator's exact totals (limb-wise, exact). */
+    void merge(const SignedExactSum &other);
+
+    /** Positive total minus negative total, each exactly rounded. */
+    double value() const;
+
+    /** Whether nothing (or only zeros) has been added. */
+    bool zero() const;
+
+  private:
+    ExactSum pos_;
+    ExactSum neg_;
+};
+
 } // namespace flash::util
 
 #endif // SENTINELFLASH_UTIL_EXACT_SUM_HH

@@ -123,6 +123,29 @@ TEST(BenchArgsDeathTest, RefreshRberRejectsAboveOne)
                 testing::ExitedWithCode(2), "out of range");
 }
 
+TEST(BenchArgs, VoltageModelFlagAndConfidence)
+{
+    Args absent({});
+    EXPECT_FALSE(voltageModelArg(absent.argc(), absent.argv()));
+    EXPECT_EQ(modelConfidenceArg(absent.argc(), absent.argv(), 0.7), 0.7);
+    Args set({"--voltage-model", "--model-confidence", "0.25"});
+    EXPECT_TRUE(voltageModelArg(set.argc(), set.argv()));
+    EXPECT_EQ(modelConfidenceArg(set.argc(), set.argv()), 0.25);
+}
+
+TEST(BenchArgsDeathTest, ModelConfidenceRejectsBadValues)
+{
+    Args above({"--model-confidence", "1.5"});
+    EXPECT_EXIT(modelConfidenceArg(above.argc(), above.argv()),
+                testing::ExitedWithCode(2), "out of range");
+    Args neg({"--model-confidence=-0.1"});
+    EXPECT_EXIT(modelConfidenceArg(neg.argc(), neg.argv()),
+                testing::ExitedWithCode(2), "out of range");
+    Args junk({"--model-confidence", "high"});
+    EXPECT_EXIT(modelConfidenceArg(junk.argc(), junk.argv()),
+                testing::ExitedWithCode(2), "expected a number");
+}
+
 TEST(BenchArgs, LastOccurrenceWins)
 {
     Args a({"--threads", "2", "--threads", "6"});

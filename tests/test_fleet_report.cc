@@ -313,5 +313,23 @@ TEST(FleetReport, HealthScanCountsAndOrders)
     EXPECT_EQ(scan.devices, 2u); // ids 2 and -1
 }
 
+TEST(FleetReport, HealthScanPicksUpModelConfidence)
+{
+    std::istringstream is(
+        "{\"health\": \"ssd\", \"device\": 0, "
+        "\"model_mean_confidence\": 0.25}\n"
+        "{\"health\": \"ssd\", \"device\": 0, "
+        "\"model_mean_confidence\": 0.75}\n"
+        "{\"health\": \"chip\", \"device\": 1, "
+        "\"model_confidence\": 0.5}\n"
+        "{\"health\": \"ssd\", \"device\": 2}\n");
+    const HealthScan scan = scanHealthLines(is);
+    EXPECT_EQ(scan.lines, 4u);
+    EXPECT_EQ(scan.modelRecords, 3u);
+    ASSERT_EQ(scan.modelConfidence.size(), 2u);
+    EXPECT_DOUBLE_EQ(scan.modelConfidence.at(0), 0.75); // last wins
+    EXPECT_DOUBLE_EQ(scan.modelConfidence.at(1), 0.5); // chip fallback
+}
+
 } // namespace
 } // namespace flash

@@ -20,6 +20,7 @@
 
 #include "ssd/fleet/report.hh"
 #include "util/logging.hh"
+#include "util/table.hh"
 
 using namespace flash;
 
@@ -97,6 +98,42 @@ main(int argc, char **argv)
             std::cerr << "fleet_report: health records interleave "
                          "across devices\n";
             return 1;
+        }
+        if (!scan.modelConfidence.empty()) {
+            // Attribute tail mass to model uncertainty: per-device
+            // confidence next to each top offender's p99 tail share.
+            double sum = 0.0, min_conf = 2.0;
+            int min_dev = -1;
+            for (const auto &[dev, conf] : scan.modelConfidence) {
+                sum += conf;
+                if (conf < min_conf) {
+                    min_conf = conf;
+                    min_dev = dev;
+                }
+            }
+            const double mean =
+                sum / static_cast<double>(scan.modelConfidence.size());
+            std::cout << "model confidence: "
+                      << scan.modelConfidence.size()
+                      << " device(s) reporting, mean "
+                      << flash::util::fmt(mean, 3) << ", min "
+                      << flash::util::fmt(min_conf, 3) << " (device "
+                      << min_dev << ")\n\n"
+                      << "top offenders vs model confidence:\n";
+            flash::util::TextTable t;
+            t.header({"device", "share@p99", "confidence"});
+            const std::size_t k = std::min<std::size_t>(
+                tail.devices.size(), static_cast<std::size_t>(top_k));
+            for (std::size_t i = 0; i < k; ++i) {
+                const ssd::fleet::TailShare &s = tail.devices[i];
+                const auto it = scan.modelConfidence.find(s.device);
+                t.row({std::to_string(s.device),
+                       flash::util::fmtPct(s.share99),
+                       it != scan.modelConfidence.end()
+                           ? flash::util::fmt(it->second, 3)
+                           : std::string("n/a")});
+            }
+            t.print(std::cout);
         }
     }
 
