@@ -18,7 +18,10 @@
  * evaluation order (--shuffle): profiles derive from (seed, device
  * id) alone, metrics merge exactly (integer bins, ExactSum totals),
  * and health lines flush from per-device buffers in device-id order.
- * Feed --fleet-out to tools/fleet_report for tail attribution.
+ * Feed --fleet-out to tools/fleet_report for tail attribution, and
+ * --health-out to tools/fleet_monitor (optionally piped or tailed
+ * with --follow while the run is live) for streaming frames, alert
+ * rules and rollup reconciliation.
  */
 
 #include <fstream>

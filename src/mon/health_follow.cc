@@ -1,0 +1,118 @@
+#include "mon/health_follow.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace flash::mon
+{
+
+HealthFollower::HealthFollower(Sink sink) : sink_(std::move(sink))
+{
+    util::fatalIf(!sink_, "HealthFollower: null sink");
+}
+
+void
+HealthFollower::feed(std::string_view chunk)
+{
+    util::fatalIf(finished_, "HealthFollower: feed after finish");
+    std::size_t start = 0;
+    while (start < chunk.size()) {
+        const std::size_t nl = chunk.find('\n', start);
+        if (nl == std::string_view::npos) {
+            partial_.append(chunk.substr(start));
+            return;
+        }
+        partial_.append(chunk.substr(start, nl - start));
+        consumeLine(partial_);
+        partial_.clear();
+        start = nl + 1;
+    }
+}
+
+void
+HealthFollower::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (partial_.empty())
+        return;
+    // An unterminated tail is usually a truncated write; if the bytes
+    // happen to form a complete record, take it, otherwise count the
+    // truncation on top of the malformed line.
+    const std::uint64_t malformed_before = stats_.malformed;
+    consumeLine(partial_);
+    partial_.clear();
+    if (stats_.malformed > malformed_before)
+        ++stats_.truncatedTail;
+}
+
+void
+HealthFollower::consumeLine(const std::string &line)
+{
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+        return;
+    ++stats_.lines;
+
+    HealthRecord rec;
+    try {
+        rec.json = util::parseJson(line);
+    } catch (const util::FatalError &) {
+        ++stats_.malformed;
+        return;
+    }
+    if (!rec.json.isObject()) {
+        ++stats_.malformed;
+        return;
+    }
+    const util::JsonValue *kind = rec.json.find("health");
+    if (kind == nullptr
+        || kind->type != util::JsonValue::Type::String) {
+        ++stats_.ignored; // some other JSON-lines record
+        return;
+    }
+    rec.kind = kind->string;
+    if (const util::JsonValue *f = rec.json.find("context");
+        f != nullptr && f->type == util::JsonValue::Type::String)
+        rec.context = f->string;
+    if (const util::JsonValue *f = rec.json.find("device");
+        f != nullptr && f->isNumber())
+        rec.device = static_cast<int>(f->number);
+    if (const util::JsonValue *f = rec.json.find("schema");
+        f != nullptr && f->isNumber())
+        rec.schema = static_cast<int>(f->number);
+    if (const util::JsonValue *f = rec.json.find("t_us");
+        f != nullptr && f->isNumber())
+        rec.tUs = f->number;
+    if (const util::JsonValue *f = rec.json.find("final");
+        f != nullptr && f->isNumber())
+        rec.finalSnapshot = f->number != 0.0;
+    stats_.maxSchema = std::max(stats_.maxSchema, rec.schema);
+
+    // Per-device window continuity. The emitting monitor stamps a
+    // strictly increasing index on every record, so anything other
+    // than last+1 is a discontinuity worth reporting.
+    const util::JsonValue *w = rec.json.find("window");
+    auto [it, inserted] = lastWindow_.try_emplace(rec.device, kNoWindow);
+    if (w != nullptr && w->isNumber() && w->number >= 0.0) {
+        rec.window = static_cast<std::int64_t>(w->number);
+        if (!inserted && it->second != kNoWindow) {
+            if (rec.window > it->second + 1) {
+                ++stats_.gaps;
+                stats_.missedWindows += static_cast<std::uint64_t>(
+                    rec.window - it->second - 1);
+            } else if (rec.window <= it->second) {
+                ++stats_.restarts;
+            }
+        }
+        it->second = rec.window;
+    } else {
+        ++stats_.unwindowed; // schema-1 stream: no continuity check
+    }
+
+    ++stats_.records;
+    sink_(rec);
+}
+
+} // namespace flash::mon

@@ -95,8 +95,12 @@ parseFleetLines(std::istream &is)
         }
         if (kind == "device") {
             ReportDevice d;
-            if (!parseDeviceLine(v, d) || seen.count(d.device)) {
+            if (!parseDeviceLine(v, d)) {
                 ++data.malformedLines;
+                continue;
+            }
+            if (seen.count(d.device)) {
+                ++data.duplicateLines; // keep the first record
                 continue;
             }
             seen.insert(d.device);
@@ -122,6 +126,18 @@ parseFleetLines(std::istream &is)
             data.haveRollup = true;
             data.rollupDevices = static_cast<std::uint64_t>(devices);
             data.rollupRequests = static_cast<std::uint64_t>(requests);
+            // The merged registry's counters, for cross-artifact
+            // reconciliation (health stream vs fleet rollup).
+            if (const util::JsonValue *m = v.find("metrics")) {
+                if (const util::JsonValue *c = m->find("counters")) {
+                    for (const auto &[name, val] : c->object) {
+                        if (val.isNumber() && val.number >= 0.0) {
+                            data.rollupCounters[name] =
+                                static_cast<std::uint64_t>(val.number);
+                        }
+                    }
+                }
+            }
         } else {
             ++data.ignoredLines;
         }
@@ -332,10 +348,12 @@ printReport(std::ostream &os, const FleetReportData &data,
         os << "device footprint: max " << max_fp << " bytes, mean "
            << total_fp / data.devices.size() << " bytes\n";
     }
-    if (data.malformedLines > 0 || data.ignoredLines > 0) {
+    if (data.malformedLines > 0 || data.ignoredLines > 0
+        || data.duplicateLines > 0) {
         os << "input: skipped " << data.malformedLines
            << " malformed line(s), ignored " << data.ignoredLines
-           << " foreign line(s)\n";
+           << " foreign line(s), dropped " << data.duplicateLines
+           << " duplicate device line(s)\n";
     }
 
     os << "\ntop offenders (by p99 tail mass):\n";
@@ -369,11 +387,12 @@ printReport(std::ostream &os, const FleetReportData &data,
 
 void
 writeReportJson(std::ostream &os, const FleetReportData &data,
-                const TailAttribution &tail)
+                const TailAttribution &tail, const HealthScan *health)
 {
     os << "{\"devices\": " << data.devices.size()
        << ", \"malformed_lines\": " << data.malformedLines
        << ", \"ignored_lines\": " << data.ignoredLines
+       << ", \"duplicate_lines\": " << data.duplicateLines
        << ", \"p99_us\": " << util::jsonNumber(tail.p99Us)
        << ", \"p999_us\": " << util::jsonNumber(tail.p999Us)
        << ", \"tail99\": " << tail.tail99
@@ -402,7 +421,15 @@ writeReportJson(std::ostream &os, const FleetReportData &data,
            << util::jsonNumber(c.meanReadP99Us) << "}";
         first = false;
     }
-    os << "]}";
+    os << "]";
+    if (health != nullptr) {
+        os << ", \"health\": {\"lines\": " << health->lines
+           << ", \"malformed_lines\": " << health->malformed
+           << ", \"devices\": " << health->devices
+           << ", \"ordered\": " << (health->ordered ? "true" : "false")
+           << ", \"model_records\": " << health->modelRecords << "}";
+    }
+    os << "}";
 }
 
 } // namespace flash::ssd::fleet

@@ -55,19 +55,30 @@ struct FleetReportData
     std::uint64_t rollupRequests = 0;
     util::LatencyHistogram rollupLatency;
 
+    /**
+     * The rollup record's "metrics.counters" object (e.g.
+     * "fleet.ssd.read.page_ops"), for integer-exact reconciliation
+     * against the health stream's summed window deltas (src/mon).
+     */
+    std::map<std::string, std::uint64_t> rollupCounters;
+
     /** Lines skipped: invalid JSON, truncated, or mistyped fields. */
     std::uint64_t malformedLines = 0;
 
     /** Valid JSON lines that are not fleet records (interleaved ok). */
     std::uint64_t ignoredLines = 0;
+
+    /** Well-formed device lines dropped for repeating a device id. */
+    std::uint64_t duplicateLines = 0;
 };
 
 /**
  * Parse a fleet JSON-lines stream. Never throws on bad input: any
  * line that is not valid JSON or lacks the required fields counts as
  * malformed and is skipped; duplicate device ids keep the first
- * record (later ones count as malformed). Devices come back sorted
- * by id.
+ * record (later well-formed ones count as duplicates). Unknown
+ * fields are ignored (forward compatibility). Devices come back
+ * sorted by id.
  */
 FleetReportData parseFleetLines(std::istream &is);
 
@@ -170,9 +181,15 @@ HealthScan scanHealthLines(std::istream &is);
 void printReport(std::ostream &os, const FleetReportData &data,
                  const TailAttribution &tail, int top_k);
 
-/** Serialize the attribution as one JSON object. */
+/**
+ * Serialize the attribution as one JSON object, including the input
+ * hygiene counts (malformed / ignored / duplicate lines). @p health
+ * adds a "health" sub-object with the health-file scan counts when a
+ * health file was scanned (nullptr omits it).
+ */
 void writeReportJson(std::ostream &os, const FleetReportData &data,
-                     const TailAttribution &tail);
+                     const TailAttribution &tail,
+                     const HealthScan *health = nullptr);
 
 } // namespace flash::ssd::fleet
 

@@ -117,12 +117,16 @@ HealthMonitor::ssdSnapshot(double t_us, const util::MetricsRegistry &metrics,
     prevSenseOps_ = sense_ops;
     prevAssists_ = assists;
 
-    *os_ << "{\"health\": \"ssd\", \"context\": \""
+    *os_ << "{\"health\": \"ssd\", \"schema\": " << kSchemaVersion
+         << ", \"window\": " << records_ << ", \"context\": \""
          << util::jsonEscape(context_) << '"';
     if (options_.deviceId >= 0)
         *os_ << ", \"device\": " << options_.deviceId;
     field(*os_, "t_us", t_us);
     field(*os_, "reads", d_reads);
+    field(*os_, "retries", d_retries);
+    field(*os_, "senses", d_sense);
+    field(*os_, "assists", d_assist);
     field(*os_, "retries_per_read", rate(d_retries, d_reads));
     field(*os_, "sense_ops_per_read", rate(d_sense, d_reads));
     field(*os_, "assist_reads_per_read", rate(d_assist, d_reads));
@@ -231,7 +235,8 @@ HealthMonitor::probeBlock(const nand::Chip &chip, int block,
     }
 
     const nand::BlockAge &age = chip.blockAge(block);
-    *os_ << "{\"health\": \"chip\", \"context\": \""
+    *os_ << "{\"health\": \"chip\", \"schema\": " << kSchemaVersion
+         << ", \"window\": " << records_ << ", \"context\": \""
          << util::jsonEscape(context_) << '"';
     if (options_.deviceId >= 0)
         *os_ << ", \"device\": " << options_.deviceId;

@@ -22,10 +22,20 @@
  *    and effective retention. The benches call probeBlock() at aging
  *    checkpoints to chart drift against P/E + retention.
  *
+ * Every record carries "schema" (the version of this format, see
+ * kSchemaVersion) and "window" (a per-monitor monotone record index
+ * that beginRun() does NOT reset). Consumers (src/mon) use the index
+ * for stream-integrity checks — a forward jump means lines were
+ * lost, a backward one means the emitting process restarted — and
+ * schema 2 "ssd" records carry the raw integer window deltas
+ * (reads / retries / senses / assists) next to the derived rates, so
+ * a monitor's summed totals reconcile with integer equality against
+ * the run's final `ssd.read.*` (or fleet rollup) counters.
+ *
  * All probes draw their sensing noise from a caller-chosen read
  * stream, so a health file is byte-identical across reruns and does
  * not perturb the experiment's own read sequences. Schema: see
- * DESIGN.md §12.
+ * DESIGN.md §12 and §17.
  */
 
 #ifndef SENTINELFLASH_SSD_HEALTH_MONITOR_HH
@@ -72,6 +82,9 @@ struct HealthMonitorOptions
 class HealthMonitor
 {
   public:
+    /** "schema" field stamped on every record. */
+    static constexpr int kSchemaVersion = 2;
+
     /** @param os Caller-owned sink; must outlive the monitor. */
     explicit HealthMonitor(std::ostream &os,
                            HealthMonitorOptions options = {});

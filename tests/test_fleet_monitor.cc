@@ -1,0 +1,263 @@
+/**
+ * @file
+ * End-to-end FleetMonitor tests over real runFleet() health streams:
+ * byte-identity of frames and alerts for any chunking, any producer
+ * thread count and any evaluation order; integer-exact rollup
+ * reconciliation against the fleet rollup counters; gap detection on
+ * a lossy stream; and a seeded degradation scenario whose alerts
+ * attribute to the degraded cohort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mon/monitor.hh"
+#include "ssd/fleet/fleet.hh"
+#include "ssd/fleet/report.hh"
+#include "util/json.hh"
+
+namespace flash
+{
+namespace
+{
+
+using namespace ssd;
+using namespace ssd::fleet;
+
+/** Two explicit cohorts so the population split is certain. */
+FleetConfig
+monitorConfig(int devices)
+{
+    FleetConfig cfg;
+    cfg.devices = devices;
+    cfg.seed = 42;
+    cfg.requests = 40;
+    cfg.timing.readBaseUs = 5.0;
+    cfg.timing.decodeUs = 2.0;
+    // Short window so a 40-request run spans several windows.
+    cfg.healthIntervalUs = 500.0;
+    CohortSpec calm;
+    calm.name = "calm";
+    calm.weight = 1.0;
+    CohortSpec worn;
+    worn.name = "worn";
+    worn.weight = 1.0;
+    worn.peMin = 9000;
+    worn.peMax = 9500;
+    cfg.cohorts = {calm, worn};
+    return cfg;
+}
+
+/** Degradation env: the worn cohort retries heavily, calm does not. */
+class DegradedCohortEnv : public FleetEnv
+{
+  public:
+    DegradedCohortEnv() : calm_(1), worn_(8, 7, 0) {}
+
+    ReadCostSource &
+    coldCost(const DeviceProfile &p) override
+    {
+        return p.cohortName == "worn" ? worn_ : calm_;
+    }
+
+  private:
+    FixedReadCost calm_;
+    FixedReadCost worn_; ///< 6 retries/read: breaches the crit rule
+};
+
+std::string
+healthOf(const FleetResult &fleet)
+{
+    std::ostringstream os;
+    writeHealthLines(fleet, os);
+    return os.str();
+}
+
+mon::MonitorConfig
+monCfg()
+{
+    mon::MonitorConfig cfg;
+    cfg.frameIntervalUs = 1000.0;
+    cfg.topK = 4;
+    return cfg;
+}
+
+/** Run a monitor over @p health fed in @p chunk byte pieces. */
+std::pair<std::string, std::string>
+runMonitor(const std::string &health, std::size_t chunk,
+           mon::FollowStats *stats_out = nullptr,
+           const mon::MonitorConfig &cfg = monCfg())
+{
+    std::ostringstream frames, alerts;
+    mon::FleetMonitor monitor(cfg, frames, &alerts);
+    for (std::size_t i = 0; i < health.size(); i += chunk) {
+        monitor.feed(std::string_view(health).substr(
+            i, std::min(chunk, health.size() - i)));
+    }
+    monitor.finish();
+    if (stats_out != nullptr)
+        *stats_out = monitor.followStats();
+    return {frames.str(), alerts.str()};
+}
+
+TEST(FleetMonitor, FramesAndAlertsInvariantToChunking)
+{
+    const FleetConfig cfg = monitorConfig(8);
+    DegradedCohortEnv env;
+    const std::string health = healthOf(runFleet(cfg, env, 2));
+    ASSERT_FALSE(health.empty());
+
+    const auto whole = runMonitor(health, health.size());
+    EXPECT_FALSE(whole.first.empty());
+    for (std::size_t chunk : {std::size_t(1), std::size_t(7),
+                              std::size_t(1024)}) {
+        const auto split = runMonitor(health, chunk);
+        EXPECT_EQ(split.first, whole.first) << "chunk " << chunk;
+        EXPECT_EQ(split.second, whole.second) << "chunk " << chunk;
+    }
+}
+
+TEST(FleetMonitor, ByteIdenticalAcrossThreadCountsAndOrder)
+{
+    FleetConfig cfg = monitorConfig(12);
+    DegradedCohortEnv env;
+
+    const std::string h1 = healthOf(runFleet(cfg, env, 1));
+    const std::string h2 = healthOf(runFleet(cfg, env, 2));
+    const std::string h4 = healthOf(runFleet(cfg, env, 4));
+    // Reversed evaluation order on 4 threads.
+    cfg.order.resize(static_cast<std::size_t>(cfg.devices));
+    for (int d = 0; d < cfg.devices; ++d)
+        cfg.order[static_cast<std::size_t>(d)] = cfg.devices - 1 - d;
+    const std::string hr = healthOf(runFleet(cfg, env, 4));
+
+    const auto base = runMonitor(h1, 4096);
+    for (const std::string *h : {&h2, &h4, &hr}) {
+        const auto other = runMonitor(*h, 4096);
+        EXPECT_EQ(other.first, base.first);
+        EXPECT_EQ(other.second, base.second);
+    }
+    EXPECT_NE(base.second.find("\"event\": \"fire\""),
+              std::string::npos);
+}
+
+TEST(FleetMonitor, DegradedCohortAlertsAttributeToTheCohort)
+{
+    const FleetConfig cfg = monitorConfig(10);
+    DegradedCohortEnv env;
+    const FleetResult fleet = runFleet(cfg, env, 2);
+
+    std::ostringstream frames, alerts;
+    mon::FleetMonitor monitor(monCfg(), frames, &alerts);
+    monitor.feed(healthOf(fleet));
+    monitor.finish();
+
+    EXPECT_GT(monitor.alertsFired(), 0u);
+    EXPECT_EQ(monitor.worstSeverity(), mon::Severity::Critical);
+
+    // Every retry-rule fire must attribute to the worn cohort — the
+    // calm cohort never retries — and at least one critical fires.
+    std::istringstream lines(alerts.str());
+    std::string line;
+    int retry_fires = 0, crit_fires = 0;
+    while (std::getline(lines, line)) {
+        const util::JsonValue v = util::parseJson(line);
+        const util::JsonValue *rule = v.find("alert");
+        const util::JsonValue *event = v.find("event");
+        const util::JsonValue *cohort = v.find("cohort");
+        ASSERT_NE(rule, nullptr);
+        ASSERT_NE(event, nullptr);
+        ASSERT_NE(cohort, nullptr);
+        if (event->string != "fire"
+            || rule->string.rfind("retry_rate", 0) != 0)
+            continue;
+        ++retry_fires;
+        EXPECT_EQ(cohort->string, "worn") << line;
+        if (v.find("severity")->string == "critical")
+            ++crit_fires;
+    }
+    EXPECT_GT(retry_fires, 0);
+    EXPECT_GT(crit_fires, 0);
+
+    // The frames name the worn cohort in the active-alert table.
+    EXPECT_NE(frames.str().find("retry_rate_critical"),
+              std::string::npos);
+}
+
+TEST(FleetMonitor, RollupReconcilesExactlyAgainstFleetCounters)
+{
+    const FleetConfig cfg = monitorConfig(8);
+    DegradedCohortEnv env;
+    const FleetResult fleet = runFleet(cfg, env, 2);
+
+    std::ostringstream frames;
+    mon::FleetMonitor monitor(monCfg(), frames, nullptr);
+    monitor.feed(healthOf(fleet));
+    monitor.finish();
+
+    // Round-trip the rollup counters through the fleet file format.
+    std::ostringstream fleet_os;
+    writeFleetJsonLines(fleet, fleet_os);
+    std::istringstream fleet_is(fleet_os.str());
+    FleetReportData data = parseFleetLines(fleet_is);
+    ASSERT_TRUE(data.haveRollup);
+    ASSERT_FALSE(data.rollupCounters.empty());
+    EXPECT_EQ(monitor.reconcile(data.rollupCounters), "");
+
+    // Any single-count drift must be detected.
+    auto corrupted = data.rollupCounters;
+    corrupted["fleet.ssd.read.page_ops"] += 1;
+    EXPECT_NE(monitor.reconcile(corrupted), "");
+    auto corrupted2 = data.rollupCounters;
+    corrupted2["fleet.ssd.read.sense_ops"] -= 1;
+    EXPECT_NE(monitor.reconcile(corrupted2), "");
+}
+
+TEST(FleetMonitor, DroppedLinesAreReportedAsWindowGaps)
+{
+    const FleetConfig cfg = monitorConfig(6);
+    DegradedCohortEnv env;
+    const std::string health = healthOf(runFleet(cfg, env, 2));
+
+    // Drop one interior line (a lost write). Pick the middle of
+    // three consecutive records of one device, so records of that
+    // device both precede and follow the hole — the drop provably
+    // breaks its window continuity.
+    std::vector<std::string> lines;
+    std::istringstream is(health);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    ASSERT_GT(lines.size(), 4u);
+    std::size_t drop = 0;
+    for (std::size_t i = 1; i + 1 < lines.size() && drop == 0; ++i) {
+        const util::JsonValue a = util::parseJson(lines[i - 1]);
+        const util::JsonValue b = util::parseJson(lines[i]);
+        const util::JsonValue c = util::parseJson(lines[i + 1]);
+        const double dev = b.find("device")->number;
+        if (a.find("device")->number == dev
+            && c.find("device")->number == dev)
+            drop = i;
+    }
+    ASSERT_GT(drop, 0u) << "no device emitted three records";
+    std::string lossy;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i != drop)
+            lossy += lines[i] + "\n";
+    }
+
+    mon::FollowStats intact_stats, lossy_stats;
+    runMonitor(health, 4096, &intact_stats);
+    runMonitor(lossy, 4096, &lossy_stats);
+    EXPECT_EQ(intact_stats.gaps, 0u);
+    EXPECT_EQ(intact_stats.restarts, 0u);
+    EXPECT_EQ(lossy_stats.gaps, 1u);
+    EXPECT_EQ(lossy_stats.missedWindows, 1u);
+}
+
+} // namespace
+} // namespace flash

@@ -200,8 +200,9 @@ TEST(FleetReport, MalformedLinesAreSkippedAndCountedNeverFatal)
     EXPECT_EQ(data.devices.size(), 2u); // devices 0 and 2 survive
     EXPECT_EQ(data.devices[0].device, 0);
     EXPECT_EQ(data.devices[1].device, 2);
-    EXPECT_EQ(data.malformedLines, 5u); // truncated, garbage, two
-                                        // field errors, duplicate
+    EXPECT_EQ(data.malformedLines, 4u); // truncated, garbage, two
+                                        // field errors
+    EXPECT_EQ(data.duplicateLines, 1u); // repeated device id 0
     EXPECT_EQ(data.ignoredLines, 1u);
     EXPECT_TRUE(data.haveRollup);
 
@@ -276,6 +277,105 @@ TEST(FleetReport, RoundTripFromRealFleetRunReconciles)
     std::ostringstream json;
     writeReportJson(json, data, tail);
     EXPECT_NO_THROW(util::parseJson(json.str()));
+}
+
+TEST(FleetReport, RollupCountersComeBackFromRealRun)
+{
+    FleetConfig cfg;
+    cfg.devices = 4;
+    cfg.seed = 3;
+    cfg.requests = 30;
+    cfg.timing.readBaseUs = 5.0;
+    cfg.timing.decodeUs = 2.0;
+    FixedFleetEnv env(ssd::FixedReadCost(5, 3, 1));
+    const FleetResult fleet = runFleet(cfg, env, 2);
+
+    std::stringstream lines;
+    writeFleetJsonLines(fleet, lines);
+    const FleetReportData data = parseFleetLines(lines);
+    ASSERT_TRUE(data.haveRollup);
+    ASSERT_FALSE(data.rollupCounters.empty());
+    // The parsed counters are the rollup registry's, bit for bit.
+    for (const char *name :
+         {"fleet.ssd.read.page_ops", "fleet.ssd.read.attempts",
+          "fleet.ssd.read.sense_ops", "fleet.ssd.read.assist_reads"}) {
+        ASSERT_TRUE(data.rollupCounters.count(name)) << name;
+        EXPECT_EQ(data.rollupCounters.at(name),
+                  fleet.rollup.counter(name))
+            << name;
+    }
+}
+
+TEST(FleetReport, UnknownFieldsAreIgnoredForwardCompat)
+{
+    // A future writer may add fields to any record; today's parser
+    // must read around them without miscounting.
+    std::istringstream split(concentratedFixture());
+    std::ostringstream os;
+    std::string line;
+    while (std::getline(split, line)) {
+        line.insert(line.size() - 1,
+                    ", \"future_field\": {\"nested\": [1, 2]}, "
+                    "\"schema\": 99");
+        os << line << '\n';
+    }
+    std::istringstream is(os.str());
+    const FleetReportData data = parseFleetLines(is);
+    EXPECT_EQ(data.devices.size(), 3u);
+    EXPECT_EQ(data.malformedLines, 0u);
+    EXPECT_EQ(data.duplicateLines, 0u);
+    EXPECT_TRUE(data.haveRollup);
+    const TailAttribution tail = attributeTail(data);
+    EXPECT_EQ(checkReconciliation(data, tail), "");
+}
+
+TEST(FleetReport, JsonReportCarriesHygieneAndHealthCounts)
+{
+    // One malformed line, one foreign line, one duplicate device.
+    std::istringstream split(concentratedFixture());
+    std::string l0, l1, l2, lr;
+    std::getline(split, l0);
+    std::getline(split, l1);
+    std::getline(split, l2);
+    std::getline(split, lr);
+    std::ostringstream fixture;
+    fixture << l0 << '\n'
+            << l1 << '\n'
+            << "garbage\n"
+            << "{\"span\": \"x\"}\n"
+            << l1 << '\n' // duplicate device id
+            << l2 << '\n'
+            << lr << '\n';
+    std::istringstream is(fixture.str());
+    const FleetReportData data = parseFleetLines(is);
+    const TailAttribution tail = attributeTail(data);
+
+    HealthScan scan;
+    scan.lines = 12;
+    scan.malformed = 3;
+    scan.devices = 4;
+    scan.ordered = true;
+    scan.modelRecords = 2;
+
+    std::ostringstream json;
+    writeReportJson(json, data, tail, &scan);
+    const util::JsonValue v = util::parseJson(json.str());
+    EXPECT_DOUBLE_EQ(v.find("malformed_lines")->number, 1.0);
+    EXPECT_DOUBLE_EQ(v.find("ignored_lines")->number, 1.0);
+    EXPECT_DOUBLE_EQ(v.find("duplicate_lines")->number, 1.0);
+    const util::JsonValue *health = v.find("health");
+    ASSERT_NE(health, nullptr);
+    EXPECT_DOUBLE_EQ(health->find("lines")->number, 12.0);
+    EXPECT_DOUBLE_EQ(health->find("malformed_lines")->number, 3.0);
+    EXPECT_DOUBLE_EQ(health->find("devices")->number, 4.0);
+    EXPECT_EQ(health->find("ordered")->type,
+              util::JsonValue::Type::Bool);
+    EXPECT_TRUE(health->find("ordered")->boolean);
+
+    // Without a scan, the sub-object is absent.
+    std::ostringstream bare;
+    writeReportJson(bare, data, tail);
+    EXPECT_EQ(util::parseJson(bare.str()).find("health"), nullptr);
 }
 
 TEST(FleetReport, HealthScanCountsAndOrders)

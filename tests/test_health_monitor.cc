@@ -152,9 +152,16 @@ TEST(HealthMonitor, SsdSnapshotsFollowIntervalWithWindowedDeltas)
     ASSERT_EQ(records.size(), 3u);
     const util::JsonValue &first = records[0];
     EXPECT_EQ(first.find("health")->string, "ssd");
+    EXPECT_EQ(first.find("schema")->number,
+              HealthMonitor::kSchemaVersion);
+    EXPECT_EQ(first.find("window")->number, 0.0);
     EXPECT_EQ(first.find("context")->string, "run");
     EXPECT_EQ(first.find("t_us")->number, 100.0);
     EXPECT_EQ(first.find("reads")->number, 10.0);
+    // Raw window deltas next to the derived rates (schema 2).
+    EXPECT_EQ(first.find("retries")->number, 20.0);
+    EXPECT_EQ(first.find("senses")->number, 50.0);
+    EXPECT_EQ(first.find("assists")->number, 5.0);
     EXPECT_EQ(first.find("retries_per_read")->number, 2.0);
     EXPECT_EQ(first.find("sense_ops_per_read")->number, 5.0);
     EXPECT_EQ(first.find("assist_reads_per_read")->number, 0.5);
@@ -163,11 +170,44 @@ TEST(HealthMonitor, SsdSnapshotsFollowIntervalWithWindowedDeltas)
     // Deltas reset between windows: the second window saw no reads.
     EXPECT_EQ(records[1].find("t_us")->number, 200.0);
     EXPECT_EQ(records[1].find("reads")->number, 0.0);
+    EXPECT_EQ(records[1].find("window")->number, 1.0);
 
     const util::JsonValue &last = records[2];
     EXPECT_EQ(last.find("t_us")->number, 250.0);
+    EXPECT_EQ(last.find("window")->number, 2.0);
     ASSERT_NE(last.find("final"), nullptr);
     EXPECT_EQ(last.find("final")->number, 1.0);
+}
+
+TEST(HealthMonitor, WindowIndexIsMonotoneAcrossRuns)
+{
+    // The window index survives beginRun(): a consumer can tell a
+    // lost line (gap) from a process restart (index reset), because
+    // only a genuine restart makes the index go backwards.
+    std::ostringstream os;
+    HealthMonitorOptions opt;
+    opt.intervalUs = 100.0;
+    HealthMonitor monitor(os, opt);
+    util::MetricsRegistry m;
+
+    monitor.beginRun("first");
+    monitor.onRequest(0.0, m);
+    m.add("ssd.read.page_ops", 2);
+    monitor.finishRun(m);
+    monitor.beginRun("second");
+    monitor.onRequest(0.0, m);
+    m.add("ssd.read.page_ops", 3);
+    monitor.finishRun(m);
+
+    const auto records = parsedLines(os.str());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].find("window")->number, 0.0);
+    EXPECT_EQ(records[0].find("context")->string, "first");
+    EXPECT_EQ(records[1].find("window")->number, 1.0); // not reset
+    EXPECT_EQ(records[1].find("context")->string, "second");
+    // beginRun reset the delta baseline (to a fresh registry's
+    // zero), not the index: the shared registry's full count shows.
+    EXPECT_EQ(records[1].find("reads")->number, 5.0);
 }
 
 TEST(HealthMonitor, ReportsCacheRatesAndLatencyPercentilesWhenPresent)

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Live fleet monitor over a health JSON-lines stream.
+ *
+ *   fleet_monitor [HEALTH_FILE] [--follow] [--frame-interval US]
+ *                 [--top K] [--ring N] [--retry-warn X]
+ *                 [--retry-crit X] [--no-outliers] [--mad-k X]
+ *                 [--alerts-out FILE] [--fleet FILE]
+ *                 [--fail-on-alert SEVERITY] [--quiet-frames]
+ *
+ * Two modes over the same engine (src/mon):
+ *
+ *  - One-shot (default): read the whole stream (file, or stdin when
+ *    no file is given), render the dashboard frames the stream's
+ *    simulated time produces, then the summary block.
+ *  - Follow (--follow): tail the file as it grows, rendering frames
+ *    as window boundaries stream in; ends when the stream has been
+ *    idle for --idle-timeout seconds (0 = wait forever). Reading
+ *    stdin already behaves like a tail (blocks until the writer
+ *    closes), so --follow matters for regular files.
+ *
+ * Frames are keyed to *simulated* time boundaries, never wall
+ * clock, and every aggregate uses exact summation — so frames and
+ * alerts are byte-identical for any chunking of the stream and any
+ * --threads value of the producing bench_fleet run.
+ *
+ * --fleet cross-checks the monitor's summed window deltas against
+ * the fleet file's rollup counters (integer equality) and exits 1 on
+ * mismatch. --fail-on-alert SEV exits 3 when an alert of severity
+ * >= SEV fired (the CI gate). --alerts-out appends every fire/clear
+ * event as JSON lines.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "mon/monitor.hh"
+#include "ssd/fleet/report.hh"
+#include "util/logging.hh"
+
+using namespace flash;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: fleet_monitor [HEALTH_FILE] [--follow]\n"
+           "                     [--frame-interval US] [--top K]\n"
+           "                     [--ring N] [--retry-warn X]\n"
+           "                     [--retry-crit X] [--no-outliers]\n"
+           "                     [--mad-k X] [--alerts-out FILE]\n"
+           "                     [--fleet FILE] [--idle-timeout S]\n"
+           "                     [--fail-on-alert info|warn|critical]\n"
+           "                     [--quiet-frames]\n";
+    std::exit(2);
+}
+
+double
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    return std::atof(argv[++i]);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string health_file, alerts_out, fleet_file, fail_on;
+    mon::MonitorConfig cfg;
+    bool follow = false, quiet_frames = false;
+    double retry_warn = 2.0, retry_crit = 4.0;
+    double idle_timeout_s = 5.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--follow") {
+            follow = true;
+        } else if (a == "--frame-interval") {
+            cfg.frameIntervalUs = numArg(argc, argv, i);
+        } else if (a == "--top") {
+            cfg.topK = static_cast<int>(numArg(argc, argv, i));
+        } else if (a == "--ring") {
+            cfg.ringCapacity =
+                static_cast<std::size_t>(numArg(argc, argv, i));
+        } else if (a == "--retry-warn") {
+            retry_warn = numArg(argc, argv, i);
+        } else if (a == "--retry-crit") {
+            retry_crit = numArg(argc, argv, i);
+        } else if (a == "--no-outliers") {
+            cfg.madEnabled = false;
+        } else if (a == "--mad-k") {
+            cfg.mad.k = numArg(argc, argv, i);
+        } else if (a == "--idle-timeout") {
+            idle_timeout_s = numArg(argc, argv, i);
+        } else if (a == "--alerts-out" && i + 1 < argc) {
+            alerts_out = argv[++i];
+        } else if (a == "--fleet" && i + 1 < argc) {
+            fleet_file = argv[++i];
+        } else if (a == "--fail-on-alert" && i + 1 < argc) {
+            fail_on = argv[++i];
+        } else if (a == "--quiet-frames") {
+            quiet_frames = true;
+        } else if (!a.empty() && a[0] == '-') {
+            usage();
+        } else if (health_file.empty()) {
+            health_file = a;
+        } else {
+            usage();
+        }
+    }
+    mon::Severity fail_severity = mon::Severity::Info;
+    if (!fail_on.empty() && !mon::parseSeverity(fail_on, fail_severity))
+        usage();
+
+    // The stock thresholds are knobs so CI can force alerts to fire
+    // (severity-ordering gate) without a degraded fleet.
+    cfg.rules = mon::defaultRules();
+    for (mon::AlertRule &r : cfg.rules) {
+        if (r.name == "retry_rate_high")
+            r.threshold = retry_warn;
+        else if (r.name == "retry_rate_critical")
+            r.threshold = retry_crit;
+    }
+
+    std::ofstream alerts_f;
+    std::ostream *alerts = nullptr;
+    if (!alerts_out.empty()) {
+        alerts_f.open(alerts_out);
+        if (!alerts_f) {
+            std::cerr << "fleet_monitor: cannot open " << alerts_out
+                      << '\n';
+            return 2;
+        }
+        alerts = &alerts_f;
+    }
+
+    std::ofstream devnull;
+    std::ostream &frames = quiet_frames
+        ? static_cast<std::ostream &>(devnull)
+        : std::cout;
+    if (quiet_frames) {
+        // An unopened ofstream swallows writes; keep it failed on
+        // purpose but clear badbit checks by never checking it.
+        devnull.setstate(std::ios::badbit);
+    }
+
+    mon::FleetMonitor monitor(cfg, frames, alerts);
+
+    char buf[1 << 16];
+    if (health_file.empty()) {
+        // Stdin is already a tail: read blocks until the writer
+        // closes, which is follow mode for pipelines.
+        while (std::cin.read(buf, sizeof buf) || std::cin.gcount() > 0) {
+            monitor.feed(std::string_view(
+                buf, static_cast<std::size_t>(std::cin.gcount())));
+        }
+    } else {
+        std::ifstream in(health_file, std::ios::binary);
+        if (!in) {
+            std::cerr << "fleet_monitor: cannot open " << health_file
+                      << '\n';
+            return 2;
+        }
+        double idle_s = 0.0;
+        for (;;) {
+            in.read(buf, sizeof buf);
+            const std::streamsize n = in.gcount();
+            if (n > 0) {
+                idle_s = 0.0;
+                monitor.feed(std::string_view(
+                    buf, static_cast<std::size_t>(n)));
+            }
+            if (in.eof()) {
+                if (!follow)
+                    break;
+                if (idle_timeout_s > 0.0 && idle_s >= idle_timeout_s)
+                    break;
+                // The producer may still be writing: clear the eof
+                // latch and poll. Wall clock only gates *termination*
+                // of the tail loop; frames stay keyed to simulated
+                // time, so output bytes are unaffected.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                idle_s += 0.1;
+                in.clear();
+            } else if (in.fail()) {
+                std::cerr << "fleet_monitor: read error on "
+                          << health_file << '\n';
+                return 2;
+            }
+        }
+    }
+    monitor.finish();
+
+    int rc = 0;
+    if (!fleet_file.empty()) {
+        std::ifstream fin(fleet_file);
+        if (!fin) {
+            std::cerr << "fleet_monitor: cannot open " << fleet_file
+                      << '\n';
+            return 2;
+        }
+        const ssd::fleet::FleetReportData data =
+            ssd::fleet::parseFleetLines(fin);
+        if (!data.haveRollup) {
+            std::cerr << "fleet_monitor: " << fleet_file
+                      << " has no rollup record\n";
+            return 1;
+        }
+        const std::string mismatch =
+            monitor.reconcile(data.rollupCounters);
+        if (!mismatch.empty()) {
+            std::cerr << "fleet_monitor: reconciliation FAILED: "
+                      << mismatch << '\n';
+            return 1;
+        }
+        std::cout << "reconciliation: health window deltas match the "
+                     "fleet rollup counters exactly\n";
+    }
+
+    if (!fail_on.empty() && monitor.alertsFired() > 0
+        && monitor.worstSeverity() >= fail_severity) {
+        std::cerr << "fleet_monitor: "
+                  << mon::severityName(monitor.worstSeverity())
+                  << " alert(s) fired (--fail-on-alert " << fail_on
+                  << ")\n";
+        rc = 3;
+    }
+    return rc;
+}

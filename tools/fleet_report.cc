@@ -12,10 +12,15 @@
  * fleet tail mass with integer equality, and the re-merged bins must
  * reproduce the file's rollup record. --health scans a fleet health
  * file for completeness (well-formed lines, per-device ordering).
+ * --json exports the attribution plus the input-hygiene counts
+ * (malformed / ignored / duplicate lines, health-scan counts); the
+ * export happens before the gates so failing runs still leave their
+ * counts on disk.
  */
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "ssd/fleet/report.hh"
@@ -80,6 +85,7 @@ main(int argc, char **argv)
 
     ssd::fleet::printReport(std::cout, data, tail, top_k);
 
+    std::optional<ssd::fleet::HealthScan> health_scan;
     if (!health_file.empty()) {
         std::ifstream hin(health_file);
         if (!hin) {
@@ -87,18 +93,13 @@ main(int argc, char **argv)
                       << '\n';
             return 2;
         }
-        const ssd::fleet::HealthScan scan =
-            ssd::fleet::scanHealthLines(hin);
+        health_scan = ssd::fleet::scanHealthLines(hin);
+        const ssd::fleet::HealthScan &scan = *health_scan;
         std::cout << "\nhealth: " << scan.lines << " records from "
                   << scan.devices << " device(s), " << scan.malformed
                   << " malformed line(s), per-device runs "
                   << (scan.ordered ? "contiguous" : "INTERLEAVED")
                   << '\n';
-        if (!scan.ordered) {
-            std::cerr << "fleet_report: health records interleave "
-                         "across devices\n";
-            return 1;
-        }
         if (!scan.modelConfidence.empty()) {
             // Attribute tail mass to model uncertainty: per-device
             // confidence next to each top offender's p99 tail share.
@@ -143,8 +144,17 @@ main(int argc, char **argv)
             std::cerr << "fleet_report: cannot open " << json_out << '\n';
             return 2;
         }
-        ssd::fleet::writeReportJson(jf, data, tail);
+        ssd::fleet::writeReportJson(
+            jf, data, tail, health_scan ? &*health_scan : nullptr);
         jf << '\n';
+    }
+
+    // The gates run after the JSON export so a failing run still
+    // leaves its counts on disk for the CI artifacts.
+    if (health_scan && !health_scan->ordered) {
+        std::cerr << "fleet_report: health records interleave "
+                     "across devices\n";
+        return 1;
     }
 
     const std::string mismatch =
