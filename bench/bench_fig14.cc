@@ -151,6 +151,8 @@ main(int argc, char **argv)
     }
 
     ssd::SsdConfig cfg; // default 8-channel SSD
+    cfg.ftl = bench::ftlArg(argc, argv);
+    cfg.gcPolicy = bench::gcPolicyArg(argc, argv);
     ssd::SsdTiming timing;
     // Retries re-sense on-die: per-attempt fixed cost is small; the
     // full transfer+decode pipeline cost is paid once per page read.

@@ -115,6 +115,15 @@ main(int argc, char **argv)
         cfg.modelConfig.confidenceThreshold = model_confidence;
     }
     cfg.cohorts = ssd::fleet::defaultCohorts();
+    // --ftl / --gc-policy apply fleet-wide: every cohort's devices
+    // switch mapping stacks together (per-cohort splits are a library
+    // feature; the bench keeps one knob).
+    const ssd::FtlKind ftl_kind = bench::ftlArg(argc, argv);
+    const ssd::GcVictimPolicy gc_policy = bench::gcPolicyArg(argc, argv);
+    for (ssd::fleet::CohortSpec &c : cfg.cohorts) {
+        c.ftl = ftl_kind;
+        c.gcPolicy = gc_policy;
+    }
     if (shuffle) {
         // A deterministic permutation of the evaluation order; the
         // fleet result is provably invariant to it.

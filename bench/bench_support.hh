@@ -20,6 +20,7 @@
 #include "core/evaluator.hh"
 #include "nandsim/chip.hh"
 #include "nandsim/oracle.hh"
+#include "ssd/config.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -283,6 +284,44 @@ inline double
 modelConfidenceArg(int argc, char **argv, double fallback = 0.5)
 {
     return doubleArg(argc, argv, "model-confidence", fallback, 0.0, 1.0);
+}
+
+/**
+ * `--ftl NAME`: which FTL of the zoo maps the simulated device —
+ * "page" (pure page mapping) or "fast" (FAST hybrid log-block).
+ * Defaults to page; anything else is a usage error (exit 2).
+ */
+inline ssd::FtlKind
+ftlArg(int argc, char **argv)
+{
+    std::string v;
+    if (!findArg(argc, argv, "ftl", v))
+        return ssd::FtlKind::Page;
+    if (v == "page")
+        return ssd::FtlKind::Page;
+    if (v == "fast")
+        return ssd::FtlKind::Fast;
+    usageError("--ftl: expected \"page\" or \"fast\", got \"" + v + '"');
+}
+
+/**
+ * `--gc-policy NAME`: GC victim selection — "greedy" (min valid
+ * pages) or "costbenefit" (age x utilization). Defaults to greedy;
+ * anything else is a usage error (exit 2).
+ */
+inline ssd::GcVictimPolicy
+gcPolicyArg(int argc, char **argv)
+{
+    std::string v;
+    if (!findArg(argc, argv, "gc-policy", v))
+        return ssd::GcVictimPolicy::Greedy;
+    if (v == "greedy")
+        return ssd::GcVictimPolicy::Greedy;
+    if (v == "costbenefit")
+        return ssd::GcVictimPolicy::CostBenefit;
+    usageError("--gc-policy: expected \"greedy\" or \"costbenefit\","
+               " got \""
+               + v + '"');
 }
 
 /**

@@ -13,6 +13,20 @@
 namespace flash::ssd
 {
 
+/** Which flash translation layer a simulated device runs. */
+enum class FtlKind
+{
+    Page, ///< page-mapping FTL with dynamic allocation (the default)
+    Fast, ///< FAST-style hybrid: block-mapped data + SW/RW log blocks
+};
+
+/** GC victim-selection policy, shared by every FTL. */
+enum class GcVictimPolicy
+{
+    Greedy,      ///< fewest valid pages (lowest block id breaks ties)
+    CostBenefit, ///< age x utilization score (hot/cold aware)
+};
+
 /** Physical organization of the simulated SSD. */
 struct SsdConfig
 {
@@ -29,6 +43,12 @@ struct SsdConfig
 
     /** GC kicks in when a plane's free-block fraction drops below. */
     double gcThreshold = 0.05;
+
+    /** Which FTL runs the device. */
+    FtlKind ftl = FtlKind::Page;
+
+    /** GC victim-selection policy (used by every FTL). */
+    GcVictimPolicy gcPolicy = GcVictimPolicy::Greedy;
 
     /**
      * Overlap attempt N+1's sensing with attempt N's transfer +

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "ssd/ftl/ftl_factory.hh"
 #include "ssd/health_monitor.hh"
 #include "ssd/ssd_sim.hh"
 #include "trace/msr_workloads.hh"
@@ -166,6 +167,10 @@ drawProfiles(const FleetConfig &cfg)
         p.queues = c.queues;
         p.queueDepth = c.queueDepth;
         p.ratePerQueueUs = c.ratePerQueueUs;
+        // Copied, not drawn: the mapping stack must not consume RNG
+        // state, or configuring it would reshuffle every profile.
+        p.ftl = c.ftl;
+        p.gcPolicy = c.gcPolicy;
         p.seed = rng.next();
         profiles.push_back(std::move(p));
     }
@@ -239,7 +244,11 @@ runDevice(const FleetConfig &cfg, const DeviceProfile &p, FleetEnv &env)
     const auto tr = trace::generateTrace(
         spec, static_cast<std::size_t>(cfg.requests), traceSeed(p));
 
-    SsdSim sim(cfg.ssd, cfg.timing, env.coldCost(p), p.seed);
+    // The profile's mapping stack overrides the fleet-wide SsdConfig.
+    SsdConfig dev_cfg = cfg.ssd;
+    dev_cfg.ftl = p.ftl;
+    dev_cfg.gcPolicy = p.gcPolicy;
+    SsdSim sim(dev_cfg, cfg.timing, env.coldCost(p), p.seed);
 
     // The per-device model + cache are owned here: each device learns
     // only from its own probes, so devices stay independent and the
@@ -385,12 +394,24 @@ writeFleetJsonLines(const FleetResult &fleet, std::ostream &os)
            << "\", \"mode\": \"" << arrivalModeName(p.mode)
            << "\", \"queues\": " << p.queues
            << ", \"queue_depth\": " << p.queueDepth
-           << ", \"requests\": " << d.requests
+           << ", \"ftl\": \"" << ftlKindName(p.ftl)
+           << "\", \"gc_policy\": \"" << gcPolicyName(p.gcPolicy)
+           << "\", \"requests\": " << d.requests
            << ", \"iops\": " << util::jsonNumber(d.iops)
            << ", \"makespan_us\": " << util::jsonNumber(d.makespanUs)
            << ", \"read_p50_us\": " << util::jsonNumber(d.readP50Us)
            << ", \"read_p99_us\": " << util::jsonNumber(d.readP99Us)
            << ", \"read_p999_us\": " << util::jsonNumber(d.readP999Us)
+           << ", \"waf_num\": " << d.metrics.counter("ftl.waf.num")
+           << ", \"waf_den\": " << d.metrics.counter("ftl.waf.den")
+           << ", \"waf\": "
+           << util::jsonNumber(
+                  d.metrics.counter("ftl.waf.den") > 0
+                      ? static_cast<double>(
+                            d.metrics.counter("ftl.waf.num"))
+                          / static_cast<double>(
+                                d.metrics.counter("ftl.waf.den"))
+                      : 0.0)
            << ", \"footprint_bytes\": " << d.footprintBytes
            << ", \"latency_metric\": \""
            << util::jsonEscape(deviceLatencyMetric(d))

@@ -78,6 +78,16 @@ struct CohortSpec
     int queueDepth = 8;
     double ratePerQueueUs = 0.02; ///< open modes only
 
+    /**
+     * Mapping stack of the cohort's devices: FTL kind and GC victim
+     * policy override FleetConfig::ssd per device, so one fleet can
+     * A/B page-mapping against the FAST hybrid across cohorts.
+     * Deterministic per cohort — assigning them consumes no profile
+     * RNG draws, so adding them never reshuffles existing fleets.
+     */
+    FtlKind ftl = FtlKind::Page;
+    GcVictimPolicy gcPolicy = GcVictimPolicy::Greedy;
+
     void validate() const;
 };
 
@@ -97,6 +107,10 @@ struct DeviceProfile
     int queues = 1;
     int queueDepth = 1;
     double ratePerQueueUs = 0.02;
+
+    /** Per-device mapping stack (copied from the cohort). */
+    FtlKind ftl = FtlKind::Page;
+    GcVictimPolicy gcPolicy = GcVictimPolicy::Greedy;
 
     /** Root of every per-device stream (trace, frontend, sim). */
     std::uint64_t seed = 0;

@@ -56,6 +56,15 @@ parseDeviceLine(const util::JsonValue &v, ReportDevice &out)
     numberField(v, "read_p999_us", out.readP999Us);
     if (numberField(v, "footprint_bytes", footprint) && footprint >= 0.0)
         out.footprintBytes = static_cast<std::uint64_t>(footprint);
+    // Optional mapping-stack fields (files from before the FTL zoo
+    // simply lack them; tolerate their absence).
+    stringField(v, "ftl", out.ftl);
+    stringField(v, "gc_policy", out.gcPolicy);
+    double waf_num = 0.0, waf_den = 0.0;
+    if (numberField(v, "waf_num", waf_num) && waf_num >= 0.0)
+        out.wafNum = static_cast<std::uint64_t>(waf_num);
+    if (numberField(v, "waf_den", waf_den) && waf_den >= 0.0)
+        out.wafDen = static_cast<std::uint64_t>(waf_den);
 
     const util::JsonValue *latency = v.find("read_latency");
     if (latency == nullptr)
@@ -192,6 +201,8 @@ attributeTail(const FleetReportData &data)
         c.requests += d.requests;
         c.tail99 += s.tail99;
         c.meanReadP99Us += d.readP99Us;
+        c.wafNum += d.wafNum;
+        c.wafDen += d.wafDen;
     }
     std::sort(tail.devices.begin(), tail.devices.end(),
               [](const TailShare &a, const TailShare &b) {
@@ -375,12 +386,17 @@ printReport(std::ostream &os, const FleetReportData &data,
     os << "\ncohorts:\n";
     util::TextTable cohorts;
     cohorts.header({"cohort", "devices", "requests", "mean dev p99",
-                    "tail@p99", "share"});
+                    "tail@p99", "share", "waf"});
     for (const CohortSummary &c : tail.cohorts) {
+        const double waf = c.wafDen > 0
+            ? static_cast<double>(c.wafNum)
+                / static_cast<double>(c.wafDen)
+            : 0.0;
         cohorts.row({c.cohort, std::to_string(c.devices),
                      std::to_string(c.requests),
                      util::fmt(c.meanReadP99Us, 0),
-                     std::to_string(c.tail99), util::fmtPct(c.share99)});
+                     std::to_string(c.tail99), util::fmtPct(c.share99),
+                     util::fmt(waf, 3)});
     }
     cohorts.print(os);
 }
@@ -418,7 +434,14 @@ writeReportJson(std::ostream &os, const FleetReportData &data,
            << ", \"requests\": " << c.requests
            << ", \"tail99\": " << c.tail99 << ", \"share99\": "
            << util::jsonNumber(c.share99) << ", \"mean_read_p99_us\": "
-           << util::jsonNumber(c.meanReadP99Us) << "}";
+           << util::jsonNumber(c.meanReadP99Us)
+           << ", \"waf_num\": " << c.wafNum
+           << ", \"waf_den\": " << c.wafDen << ", \"waf\": "
+           << util::jsonNumber(
+                  c.wafDen > 0 ? static_cast<double>(c.wafNum)
+                          / static_cast<double>(c.wafDen)
+                               : 0.0)
+           << "}";
         first = false;
     }
     os << "]";

@@ -42,6 +42,15 @@ struct ReportDevice
     double readP99Us = 0.0;
     double readP999Us = 0.0;
     std::uint64_t footprintBytes = 0;
+
+    /** Mapping stack ("" when the file predates the FTL fields). */
+    std::string ftl;
+    std::string gcPolicy;
+
+    /** Exact write-amplification ratio (0/0 when absent). */
+    std::uint64_t wafNum = 0;
+    std::uint64_t wafDen = 0;
+
     util::LatencyHistogram latency; ///< rebuilt lossless bins
 };
 
@@ -104,6 +113,15 @@ struct CohortSummary
     std::uint64_t tail99 = 0;
     double share99 = 0.0;
     double meanReadP99Us = 0.0; ///< mean of per-device p99s
+
+    /**
+     * Cohort write amplification: the exact integer sums of the
+     * member devices' waf_num / waf_den (0/0 when the file carried no
+     * WAF fields), so the cohort ratio is reconstruction-exact rather
+     * than a mean of per-device ratios.
+     */
+    std::uint64_t wafNum = 0;
+    std::uint64_t wafDen = 0;
 };
 
 /** Fleet-level tail attribution. */

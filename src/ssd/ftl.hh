@@ -1,209 +1,20 @@
 /**
  * @file
- * Page-mapping FTL with dynamic allocation and greedy GC.
- *
- * Logical pages map to arbitrary physical pages; writes stripe
- * round-robin over planes into per-plane active blocks; when a
- * plane runs out of free blocks the block with the fewest valid
- * pages is garbage-collected (valid pages migrate, block erased).
+ * Compatibility shim: the FTL moved to the pluggable zoo under
+ * `ssd/ftl/` (see ftl_interface.hh, page_ftl.hh, fast_ftl.hh,
+ * ftl_factory.hh). `Ftl` remains an alias for the page-mapping FTL
+ * so existing direct users keep compiling unchanged.
  */
 
 #ifndef SENTINELFLASH_SSD_FTL_HH
 #define SENTINELFLASH_SSD_FTL_HH
 
-#include <cstdint>
-#include <functional>
-#include <vector>
-
-#include "ssd/config.hh"
+#include "ssd/ftl/page_ftl.hh"
 
 namespace flash::ssd
 {
 
-/** Physical location of a page. */
-struct PhysAddr
-{
-    int plane = -1;  ///< global plane index
-    int block = -1;  ///< block within the plane
-    int page = -1;   ///< page within the block
-
-    bool valid() const { return plane >= 0; }
-};
-
-/** Side effects of one logical-page write (for the timing model). */
-struct WriteEffect
-{
-    PhysAddr target;
-    bool gcTriggered = false;
-    int gcMigratedPages = 0; ///< valid pages moved by the GC
-    int gcErases = 0;        ///< blocks erased by the GC
-};
-
-/**
- * Outcome of one scrub-refresh step (see Ftl::refreshBlock). A
- * refresh is incremental: each step migrates a bounded number of
- * valid pages off the block; once none remain, the block is erased
- * and returned to the free list.
- */
-struct RefreshStep
-{
-    int migratedPages = 0;   ///< valid pages moved by this step
-    int gcMigratedPages = 0; ///< pages moved by GC nested in this step
-    int gcErases = 0;        ///< blocks erased by nested GC
-    bool erased = false;     ///< this step erased the refreshed block
-    bool done = false;       ///< block is empty and back on the free list
-    bool busy = false;       ///< block is active/filling; cannot refresh
-};
-
-/** FTL bookkeeping counters. */
-struct FtlStats
-{
-    std::uint64_t hostWrites = 0;
-    std::uint64_t gcRuns = 0;
-    std::uint64_t migratedPages = 0;
-    std::uint64_t erases = 0;
-    std::uint64_t refreshPages = 0;  ///< subset of migratedPages moved by refresh
-    std::uint64_t refreshErases = 0; ///< subset of erases issued by refresh
-
-    /** Write amplification factor. */
-    double
-    waf() const
-    {
-        return hostWrites
-            ? 1.0 + static_cast<double>(migratedPages)
-                / static_cast<double>(hostWrites)
-            : 1.0;
-    }
-};
-
-/**
- * Page-mapping flash translation layer.
- */
-class Ftl
-{
-  public:
-    /**
-     * Called with (plane, block) immediately after any block erase —
-     * GC victim or refresh — so callers can drop per-block derived
-     * state (e.g. core::VoltageCache entries, scrub warmth). Invoked
-     * mid-operation: the hook must not call back into the FTL.
-     */
-    using EraseHook = std::function<void(int plane, int block)>;
-
-    /**
-     * @param precondition When true, every logical page is mapped
-     *        sequentially up front (a full drive), so reads always
-     *        hit mapped pages and GC pressure is realistic.
-     */
-    explicit Ftl(const SsdConfig &config, bool precondition = true);
-
-    /** Physical location of a logical page (invalid when unmapped). */
-    PhysAddr translate(std::int64_t lpn) const;
-
-    /** Write (or overwrite) a logical page. */
-    WriteEffect write(std::int64_t lpn);
-
-    /**
-     * One incremental scrub-refresh step of (plane, block): migrate
-     * up to @p max_pages still-valid pages into the plane's free
-     * space (same mechanics and accounting as GC migration), then
-     * erase the block once it holds no valid data. The active block
-     * and still-filling blocks are reported busy; an already-free
-     * block reports done. Nested GC triggered by the migration
-     * allocations is propagated in the step so callers can charge
-     * its time.
-     */
-    RefreshStep refreshBlock(int plane, int block, int max_pages);
-
-    /** Valid pages currently held by (plane, block). */
-    int blockValidPages(int plane, int block) const;
-
-    /**
-     * Whether (plane, block) is refreshable now: fully written and
-     * not the plane's active block.
-     */
-    bool refreshCandidate(int plane, int block) const;
-
-    /** Install the post-erase hook (nullptr detaches). */
-    void setEraseHook(EraseHook hook) { eraseHook_ = std::move(hook); }
-
-    /** Number of logical pages exported. */
-    std::int64_t logicalPages() const { return logicalPages_; }
-
-    /** Counters. */
-    const FtlStats &stats() const { return stats_; }
-
-    /** Free blocks currently available in a plane. */
-    int freeBlocks(int plane) const;
-
-    /**
-     * Heap bytes held by the mapping tables (map, per-block owner
-     * arrays, free lists). The dominant per-device memory cost of a
-     * fleet run; reported by bench_fleet.
-     */
-    std::size_t footprintBytes() const;
-
-    /**
-     * Verify internal consistency (panic on violation): every mapped
-     * LPN's physical page is owned by that LPN, per-block valid-page
-     * counts match their owner arrays, no physical page is owned by
-     * an LPN that maps elsewhere, and free-listed blocks are empty.
-     * O(physical pages); meant for tests and debugging.
-     */
-    void checkInvariants() const;
-
-  private:
-    struct Block
-    {
-        std::vector<std::int64_t> owner; ///< lpn per page (-1 invalid)
-        int nextPage = 0;
-        int validPages = 0;
-
-        bool full(int pages_per_block) const
-        {
-            return nextPage >= pages_per_block;
-        }
-    };
-
-    struct Plane
-    {
-        std::vector<Block> blocks;
-        std::vector<int> freeList;
-        int activeBlock = -1;
-    };
-
-    PhysAddr allocate(int plane_idx, WriteEffect &effect);
-    void collectGarbage(int plane_idx, WriteEffect &effect);
-    void invalidate(const PhysAddr &addr);
-
-    SsdConfig config_;
-    std::int64_t logicalPages_;
-    std::vector<std::int64_t> map_; ///< lpn -> packed phys page (-1)
-    std::vector<Plane> planes_;
-    FtlStats stats_;
-    std::uint64_t writeCursor_ = 0;
-    EraseHook eraseHook_;
-
-    std::int64_t
-    pack(const PhysAddr &a) const
-    {
-        return (static_cast<std::int64_t>(a.plane) * config_.blocksPerPlane
-                + a.block)
-            * config_.pagesPerBlock
-            + a.page;
-    }
-
-    PhysAddr
-    unpack(std::int64_t packed) const
-    {
-        PhysAddr a;
-        a.page = static_cast<int>(packed % config_.pagesPerBlock);
-        const std::int64_t rest = packed / config_.pagesPerBlock;
-        a.block = static_cast<int>(rest % config_.blocksPerPlane);
-        a.plane = static_cast<int>(rest / config_.blocksPerPlane);
-        return a;
-    }
-};
+using Ftl = PageFtl;
 
 } // namespace flash::ssd
 

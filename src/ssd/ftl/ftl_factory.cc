@@ -1,0 +1,46 @@
+#include "ssd/ftl/ftl_factory.hh"
+
+#include "ssd/ftl/fast_ftl.hh"
+#include "ssd/ftl/page_ftl.hh"
+#include "util/logging.hh"
+
+namespace flash::ssd
+{
+
+const char *
+ftlKindName(FtlKind kind)
+{
+    switch (kind) {
+    case FtlKind::Page:
+        return "page";
+    case FtlKind::Fast:
+        return "fast";
+    }
+    util::panic("unknown FtlKind");
+}
+
+const char *
+gcPolicyName(GcVictimPolicy policy)
+{
+    switch (policy) {
+    case GcVictimPolicy::Greedy:
+        return "greedy";
+    case GcVictimPolicy::CostBenefit:
+        return "costbenefit";
+    }
+    util::panic("unknown GcVictimPolicy");
+}
+
+std::unique_ptr<FtlInterface>
+makeFtl(const SsdConfig &config, bool precondition)
+{
+    switch (config.ftl) {
+    case FtlKind::Page:
+        return std::make_unique<PageFtl>(config, precondition);
+    case FtlKind::Fast:
+        return std::make_unique<FastFtl>(config, precondition);
+    }
+    util::panic("unknown FtlKind");
+}
+
+} // namespace flash::ssd

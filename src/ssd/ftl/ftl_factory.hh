@@ -1,0 +1,26 @@
+/**
+ * @file
+ * FTL factory: construct the configured FTL behind the interface.
+ */
+
+#ifndef SENTINELFLASH_SSD_FTL_FACTORY_HH
+#define SENTINELFLASH_SSD_FTL_FACTORY_HH
+
+#include <memory>
+
+#include "ssd/ftl/ftl_interface.hh"
+
+namespace flash::ssd
+{
+
+/** Stable names for reports and CLI round-trips. */
+const char *ftlKindName(FtlKind kind);
+const char *gcPolicyName(GcVictimPolicy policy);
+
+/** Build the FTL selected by `config.ftl` / `config.gcPolicy`. */
+std::unique_ptr<FtlInterface> makeFtl(const SsdConfig &config,
+                                      bool precondition = true);
+
+} // namespace flash::ssd
+
+#endif // SENTINELFLASH_SSD_FTL_FACTORY_HH

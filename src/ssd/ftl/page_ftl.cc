@@ -1,11 +1,13 @@
-#include "ssd/ftl.hh"
+#include "ssd/ftl/page_ftl.hh"
 
 #include <algorithm>
+
+#include "ssd/ftl/victim_policy.hh"
 
 namespace flash::ssd
 {
 
-Ftl::Ftl(const SsdConfig &config, bool precondition)
+PageFtl::PageFtl(const SsdConfig &config, bool precondition)
     : config_(config), logicalPages_(config.logicalPages())
 {
     config_.validate();
@@ -45,7 +47,7 @@ Ftl::Ftl(const SsdConfig &config, bool precondition)
 }
 
 PhysAddr
-Ftl::translate(std::int64_t lpn) const
+PageFtl::translate(std::int64_t lpn) const
 {
     util::fatalIf(lpn < 0 || lpn >= logicalPages_,
                   "ftl: logical page out of range");
@@ -56,7 +58,7 @@ Ftl::translate(std::int64_t lpn) const
 }
 
 int
-Ftl::freeBlocks(int plane) const
+PageFtl::freeBlocks(int plane) const
 {
     util::fatalIf(plane < 0 || plane >= config_.totalPlanes(),
                   "ftl: plane out of range");
@@ -64,8 +66,20 @@ Ftl::freeBlocks(int plane) const
         planes_[static_cast<std::size_t>(plane)].freeList.size());
 }
 
+double
+PageFtl::freeFraction() const
+{
+    std::size_t free = 0;
+    for (const Plane &plane : planes_)
+        free += plane.freeList.size();
+    return static_cast<double>(free)
+        / static_cast<double>(static_cast<std::size_t>(config_.totalPlanes())
+                              * static_cast<std::size_t>(
+                                  config_.blocksPerPlane));
+}
+
 int
-Ftl::blockValidPages(int plane, int block) const
+PageFtl::blockValidPages(int plane, int block) const
 {
     util::fatalIf(plane < 0 || plane >= config_.totalPlanes() || block < 0
                       || block >= config_.blocksPerPlane,
@@ -76,7 +90,7 @@ Ftl::blockValidPages(int plane, int block) const
 }
 
 bool
-Ftl::refreshCandidate(int plane, int block) const
+PageFtl::refreshCandidate(int plane, int block) const
 {
     util::fatalIf(plane < 0 || plane >= config_.totalPlanes() || block < 0
                       || block >= config_.blocksPerPlane,
@@ -88,7 +102,7 @@ Ftl::refreshCandidate(int plane, int block) const
 }
 
 RefreshStep
-Ftl::refreshBlock(int plane, int block, int max_pages)
+PageFtl::refreshBlock(int plane, int block, int max_pages)
 {
     util::fatalIf(plane < 0 || plane >= config_.totalPlanes() || block < 0
                       || block >= config_.blocksPerPlane,
@@ -163,7 +177,7 @@ Ftl::refreshBlock(int plane, int block, int max_pages)
 }
 
 void
-Ftl::checkInvariants() const
+PageFtl::checkInvariants() const
 {
     // Forward direction: every mapped LPN points at a page whose
     // owner record names that LPN.
@@ -217,7 +231,7 @@ Ftl::checkInvariants() const
 }
 
 void
-Ftl::invalidate(const PhysAddr &addr)
+PageFtl::invalidate(const PhysAddr &addr)
 {
     auto &blk = planes_[static_cast<std::size_t>(addr.plane)]
                     .blocks[static_cast<std::size_t>(addr.block)];
@@ -228,7 +242,7 @@ Ftl::invalidate(const PhysAddr &addr)
 }
 
 PhysAddr
-Ftl::allocate(int plane_idx, WriteEffect &effect)
+PageFtl::allocate(int plane_idx, WriteEffect &effect)
 {
     auto &plane = planes_[static_cast<std::size_t>(plane_idx)];
 
@@ -241,13 +255,30 @@ Ftl::allocate(int plane_idx, WriteEffect &effect)
                       "ftl: no free block after GC (drive overfull)");
         plane.activeBlock = plane.freeList.back();
         plane.freeList.pop_back();
+        plane.blocks[static_cast<std::size_t>(plane.activeBlock)].stampedAt =
+            ++allocClock_;
     } else {
         // GC ahead of demand when the plane is running low.
         const double free_frac =
             static_cast<double>(plane.freeList.size())
             / static_cast<double>(config_.blocksPerPlane);
-        if (free_frac < config_.gcThreshold)
+        if (free_frac < config_.gcThreshold) {
             collectGarbage(plane_idx, effect);
+            // Re-homed movers may have landed in (and filled) the
+            // active block without switching it: the deeper allocate
+            // only switches when it sees the block already full. Take
+            // a fresh block rather than writing past the end.
+            if (plane.blocks[static_cast<std::size_t>(plane.activeBlock)]
+                    .full(config_.pagesPerBlock)) {
+                util::fatalIf(plane.freeList.empty(),
+                              "ftl: no free block after GC (drive "
+                              "overfull)");
+                plane.activeBlock = plane.freeList.back();
+                plane.freeList.pop_back();
+                plane.blocks[static_cast<std::size_t>(plane.activeBlock)]
+                    .stampedAt = ++allocClock_;
+            }
+        }
     }
 
     auto &blk = plane.blocks[static_cast<std::size_t>(plane.activeBlock)];
@@ -259,25 +290,27 @@ Ftl::allocate(int plane_idx, WriteEffect &effect)
 }
 
 void
-Ftl::collectGarbage(int plane_idx, WriteEffect &effect)
+PageFtl::collectGarbage(int plane_idx, WriteEffect &effect)
 {
     auto &plane = planes_[static_cast<std::size_t>(plane_idx)];
 
-    // Greedy victim selection: fewest valid pages, excluding the
-    // active block and blocks that are not yet full.
-    int victim = -1;
-    int victim_valid = config_.pagesPerBlock + 1;
-    for (int b = 0; b < config_.blocksPerPlane; ++b) {
-        if (b == plane.activeBlock)
-            continue;
-        const auto &blk = plane.blocks[static_cast<std::size_t>(b)];
-        if (!blk.full(config_.pagesPerBlock))
-            continue;
-        if (blk.validPages < victim_valid) {
-            victim = b;
-            victim_valid = blk.validPages;
-        }
-    }
+    // Victim selection through the configured policy; greedy scans
+    // blocks in id order for the fewest valid pages, excluding the
+    // active block and blocks that are not yet full (identical to the
+    // historic hard-coded loop).
+    const int victim = selectVictim(
+        config_.gcPolicy, config_.blocksPerPlane, plane.activeBlock,
+        config_.pagesPerBlock, allocClock_,
+        [&](int b) {
+            return plane.blocks[static_cast<std::size_t>(b)].full(
+                config_.pagesPerBlock);
+        },
+        [&](int b) {
+            return plane.blocks[static_cast<std::size_t>(b)].validPages;
+        },
+        [&](int b) {
+            return plane.blocks[static_cast<std::size_t>(b)].stampedAt;
+        });
     if (victim < 0)
         return;
 
@@ -323,7 +356,7 @@ Ftl::collectGarbage(int plane_idx, WriteEffect &effect)
 }
 
 WriteEffect
-Ftl::write(std::int64_t lpn)
+PageFtl::write(std::int64_t lpn)
 {
     util::fatalIf(lpn < 0 || lpn >= logicalPages_,
                   "ftl: logical page out of range");
@@ -347,9 +380,10 @@ Ftl::write(std::int64_t lpn)
 }
 
 std::size_t
-Ftl::footprintBytes() const
+PageFtl::footprintBytes() const
 {
-    std::size_t bytes = sizeof(Ftl) + map_.size() * sizeof(std::int64_t);
+    std::size_t bytes =
+        sizeof(PageFtl) + map_.size() * sizeof(std::int64_t);
     for (const Plane &plane : planes_) {
         bytes += plane.blocks.size() * sizeof(Block)
             + plane.freeList.size() * sizeof(int);

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Page-mapping FTL with dynamic allocation and pluggable victim
+ * selection.
+ *
+ * Logical pages map to arbitrary physical pages; writes stripe
+ * round-robin over planes into per-plane active blocks; when a
+ * plane runs out of free blocks a victim chosen by the configured
+ * GC policy is collected (valid pages migrate, block erased). With
+ * the default greedy policy the behavior is byte-identical to the
+ * historic monolithic `ssd/ftl.{hh,cc}` implementation.
+ */
+
+#ifndef SENTINELFLASH_SSD_FTL_PAGE_FTL_HH
+#define SENTINELFLASH_SSD_FTL_PAGE_FTL_HH
+
+#include <vector>
+
+#include "ssd/ftl/ftl_interface.hh"
+
+namespace flash::ssd
+{
+
+/** Page-mapping flash translation layer. */
+class PageFtl : public FtlInterface
+{
+  public:
+    /**
+     * @param precondition When true, every logical page is mapped
+     *        sequentially up front (a full drive), so reads always
+     *        hit mapped pages and GC pressure is realistic.
+     */
+    explicit PageFtl(const SsdConfig &config, bool precondition = true);
+
+    const char *name() const override { return "page"; }
+    PhysAddr translate(std::int64_t lpn) const override;
+    WriteEffect write(std::int64_t lpn) override;
+    RefreshStep refreshBlock(int plane, int block, int max_pages) override;
+    int blockValidPages(int plane, int block) const override;
+    bool refreshCandidate(int plane, int block) const override;
+
+    void setEraseHook(EraseHook hook) override
+    {
+        eraseHook_ = std::move(hook);
+    }
+
+    std::int64_t logicalPages() const override { return logicalPages_; }
+    const FtlStats &stats() const override { return stats_; }
+    int freeBlocks(int plane) const override;
+    double freeFraction() const override;
+    std::size_t footprintBytes() const override;
+    void checkInvariants() const override;
+
+  private:
+    struct Block
+    {
+        std::vector<std::int64_t> owner; ///< lpn per page (-1 invalid)
+        int nextPage = 0;
+        int validPages = 0;
+        std::uint64_t stampedAt = 0; ///< alloc clock when activated
+
+        bool full(int pages_per_block) const
+        {
+            return nextPage >= pages_per_block;
+        }
+    };
+
+    struct Plane
+    {
+        std::vector<Block> blocks;
+        std::vector<int> freeList;
+        int activeBlock = -1;
+    };
+
+    PhysAddr allocate(int plane_idx, WriteEffect &effect);
+    void collectGarbage(int plane_idx, WriteEffect &effect);
+    void invalidate(const PhysAddr &addr);
+
+    SsdConfig config_;
+    std::int64_t logicalPages_;
+    std::vector<std::int64_t> map_; ///< lpn -> packed phys page (-1)
+    std::vector<Plane> planes_;
+    FtlStats stats_;
+    std::uint64_t writeCursor_ = 0;
+    std::uint64_t allocClock_ = 0; ///< block-age clock for cost-benefit
+    EraseHook eraseHook_;
+
+    std::int64_t
+    pack(const PhysAddr &a) const
+    {
+        return (static_cast<std::int64_t>(a.plane) * config_.blocksPerPlane
+                + a.block)
+            * config_.pagesPerBlock
+            + a.page;
+    }
+
+    PhysAddr
+    unpack(std::int64_t packed) const
+    {
+        PhysAddr a;
+        a.page = static_cast<int>(packed % config_.pagesPerBlock);
+        const std::int64_t rest = packed / config_.pagesPerBlock;
+        a.block = static_cast<int>(rest % config_.blocksPerPlane);
+        a.plane = static_cast<int>(rest / config_.blocksPerPlane);
+        return a;
+    }
+};
+
+} // namespace flash::ssd
+
+#endif // SENTINELFLASH_SSD_FTL_PAGE_FTL_HH

@@ -9,6 +9,7 @@
 #include "core/sentinel_probe.hh"
 #include "nandsim/read_seq.hh"
 #include "nandsim/snapshot.hh"
+#include "ssd/ftl/ftl_interface.hh"
 #include "ssd/scrubber/scrubber.hh"
 #include "util/logging.hh"
 
@@ -175,6 +176,19 @@ HealthMonitor::ssdSnapshot(double t_us, const util::MetricsRegistry &metrics,
         const double cold =
             static_cast<double>(metrics.counter("scrub.read.cold"));
         field(*os_, "scrub_warm_read_rate", rate(warm, warm + cold));
+    }
+    if (ftl_ != nullptr) {
+        const FtlStats &fs = ftl_->stats();
+        field(*os_, "ftl_free_frac", ftl_->freeFraction());
+        field(*os_, "ftl_migrated_pages",
+              static_cast<double>(fs.migratedPages));
+        field(*os_, "ftl_erases", static_cast<double>(fs.erases));
+        field(*os_, "ftl_merges",
+              static_cast<double>(fs.switchMerges + fs.partialMerges
+                                  + fs.fullMerges));
+        field(*os_, "ftl_waf_num", static_cast<double>(fs.wafNumerator()));
+        field(*os_, "ftl_waf_den", static_cast<double>(fs.wafDenominator()));
+        field(*os_, "ftl_waf", fs.waf());
     }
     if (final_snapshot)
         *os_ << ", \"final\": 1";

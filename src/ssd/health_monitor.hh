@@ -54,6 +54,7 @@
 namespace flash::ssd
 {
 
+class FtlInterface;
 class Scrubber;
 
 /** Knobs of the health time series. */
@@ -117,6 +118,15 @@ class HealthMonitor
     }
 
     /**
+     * Attach the device's FTL (nullptr detaches; SsdSim attaches
+     * automatically via setHealthMonitor). SSD snapshots then report
+     * mapping-layer health: free-block fraction, cumulative migrate /
+     * erase / merge counts and the exact write-amplification ratio
+     * (integer numerator/denominator plus the derived value).
+     */
+    void attachFtl(const FtlInterface *ftl) { ftl_ = ftl; }
+
+    /**
      * Start a new observation run (e.g. one workload/policy pair).
      * Resets the windowed-delta state and stamps every following
      * record with @p context.
@@ -167,6 +177,7 @@ class HealthMonitor
     const core::VoltageCache *cache_ = nullptr;
     const Scrubber *scrub_ = nullptr;
     const core::VoltagePredictor *model_ = nullptr;
+    const FtlInterface *ftl_ = nullptr;
     std::string context_;
     std::uint64_t records_ = 0;
 

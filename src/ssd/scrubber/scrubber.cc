@@ -217,6 +217,8 @@ Scrubber::runRefresh(const ScrubHost &host, double scan_us, double until_us)
 
         const RefreshStep step =
             host.ftl->refreshBlock(plane, block, max_pages);
+        if (config_.checkInvariants)
+            host.ftl->checkInvariants();
         if (step.busy) {
             queuedForRefresh_[static_cast<std::size_t>(gid)] = 0;
             ++stats_.refreshDropped;

@@ -45,7 +45,7 @@
 #include "core/voltage_cache.hh"
 #include "core/voltage_model.hh"
 #include "ssd/config.hh"
-#include "ssd/ftl.hh"
+#include "ssd/ftl/ftl_interface.hh"
 #include "ssd/scrubber/scrub_device.hh"
 #include "util/metrics.hh"
 #include "util/span_trace.hh"
@@ -86,6 +86,13 @@ struct ScrubberConfig
     /** Valid pages the refresh engine may migrate per scan. */
     int refreshPageBudget = 32;
 
+    /**
+     * Debug: audit the FTL's full invariants after every refresh
+     * step (panics on violation). O(physical pages) per step — for
+     * tests, not production runs.
+     */
+    bool checkInvariants = false;
+
     /** Whether this configuration runs at all. */
     bool
     enabled() const
@@ -123,7 +130,7 @@ struct ScrubHost
     const SsdConfig *config = nullptr;
     const SsdTiming *timing = nullptr;
     std::vector<double> *planeFree = nullptr; ///< per-plane next-free time
-    Ftl *ftl = nullptr;
+    FtlInterface *ftl = nullptr;              ///< any FTL in the zoo
     util::MetricsRegistry *metrics = nullptr;
     util::SpanTrace *spans = nullptr; ///< optional
 };

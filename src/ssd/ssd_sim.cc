@@ -47,6 +47,11 @@ SimReport::writeJson(std::ostream &os) const
        << ", \"erases\": " << ftl.erases
        << ", \"refresh_pages\": " << ftl.refreshPages
        << ", \"refresh_erases\": " << ftl.refreshErases
+       << ", \"switch_merges\": " << ftl.switchMerges
+       << ", \"partial_merges\": " << ftl.partialMerges
+       << ", \"full_merges\": " << ftl.fullMerges
+       << ", \"waf_num\": " << ftl.wafNumerator()
+       << ", \"waf_den\": " << ftl.wafDenominator()
        << ", \"waf\": " << util::jsonNumber(ftl.waf()) << "}"
        << ", \"metrics\": ";
     metrics.writeJson(os);
@@ -56,7 +61,7 @@ SimReport::writeJson(std::ostream &os) const
 SsdSim::SsdSim(const SsdConfig &config, const SsdTiming &timing,
                ReadCostSource &read_cost, std::uint64_t seed)
     : config_(config), timing_(timing), readCost_(&read_cost),
-      rng_(seed ^ util::mix64(0x73736473696dULL)), ftl_(config)
+      rng_(seed ^ util::mix64(0x73736473696dULL)), ftl_(makeFtl(config))
 {
     config_.validate();
     timing_.validate();
@@ -78,11 +83,19 @@ SsdSim::attachScrubber(Scrubber *scrub)
 {
     scrub_ = scrub;
     if (scrub_ && scrub_->enabled()) {
-        ftl_.setEraseHook(
+        ftl_->setEraseHook(
             [this](int plane, int block) { scrub_->noteErase(plane, block); });
     } else {
-        ftl_.setEraseHook(nullptr);
+        ftl_->setEraseHook(nullptr);
     }
+}
+
+void
+SsdSim::setHealthMonitor(HealthMonitor *health)
+{
+    health_ = health;
+    if (health_)
+        health_->attachFtl(ftl_.get());
 }
 
 bool
@@ -228,7 +241,7 @@ double
 SsdSim::writePageOp(double arrival, std::int64_t lpn, LatencyBreakdown &bd,
                     util::SpanBuffer *sb, int parent)
 {
-    const WriteEffect effect = ftl_.write(lpn);
+    const WriteEffect effect = ftl_->write(lpn);
     const int plane = effect.target.plane;
     const int ch = channelOf(plane);
 
@@ -265,6 +278,20 @@ SsdSim::writePageOp(double arrival, std::int64_t lpn, LatencyBreakdown &bd,
                      static_cast<std::uint64_t>(effect.gcErases));
         metrics_.observe("ssd.write.gc_stall_us", bd.gcUs);
     }
+    const int merges =
+        effect.switchMerges + effect.partialMerges + effect.fullMerges;
+    if (sb && merges > 0) {
+        // Log merges get their own root span so tail analysis can
+        // attribute merge stalls separately from ordinary GC.
+        const int mop = sb->begin("merge_op");
+        sb->num(mop, "plane", static_cast<double>(plane));
+        sb->num(mop, "switch", static_cast<double>(effect.switchMerges));
+        sb->num(mop, "partial", static_cast<double>(effect.partialMerges));
+        sb->num(mop, "full", static_cast<double>(effect.fullMerges));
+        sb->num(mop, "pages", static_cast<double>(effect.gcMigratedPages));
+        sb->num(mop, "erases", static_cast<double>(effect.gcErases));
+        sb->time(mop, start, bd.gcUs);
+    }
     if (sb) {
         const int op = sb->begin("write_op", parent);
         sb->num(op, "lpn", static_cast<double>(lpn));
@@ -291,7 +318,7 @@ SsdSim::submit(const trace::TraceRecord &req, double submit_us, int queue)
         scrub_host.config = &config_;
         scrub_host.timing = &timing_;
         scrub_host.planeFree = &planeFree_;
-        scrub_host.ftl = &ftl_;
+        scrub_host.ftl = ftl_.get();
         scrub_host.metrics = &metrics_;
         scrub_host.spans = spans_;
         scrub_->maintain(scrub_host, submit_us);
@@ -299,7 +326,7 @@ SsdSim::submit(const trace::TraceRecord &req, double submit_us, int queue)
 
     const std::int64_t page_bytes =
         static_cast<std::int64_t>(config_.pageKb) * 1024;
-    const std::int64_t logical_pages = ftl_.logicalPages();
+    const std::int64_t logical_pages = ftl_->logicalPages();
     const std::int64_t first =
         static_cast<std::int64_t>(req.offsetBytes) / page_bytes;
     const std::int64_t last =
@@ -319,7 +346,7 @@ SsdSim::submit(const trace::TraceRecord &req, double submit_us, int queue)
         double page_done;
         util::SpanBuffer *op_sb = spans_ ? &sb : nullptr;
         if (req.isRead) {
-            const PhysAddr addr = ftl_.translate(lpn);
+            const PhysAddr addr = ftl_->translate(lpn);
             page_done = readPageOp(submit_us, addr, bd, op_sb, root);
             ++report_.pageReads;
         } else {
@@ -359,7 +386,25 @@ SsdSim::finishRun()
 {
     if (health_)
         health_->finishRun(metrics_);
-    report_.ftl = ftl_.stats();
+    report_.ftl = ftl_->stats();
+
+    // Export the FTL's cumulative counters (including the exact WAF
+    // integer ratio) as metrics so fleet rollups aggregate them
+    // exactly; all names are emitted even at zero so the metric
+    // schema is stable across FTLs.
+    const FtlStats &fs = report_.ftl;
+    metrics_.add("ftl.host_writes", fs.hostWrites);
+    metrics_.add("ftl.gc_runs", fs.gcRuns);
+    metrics_.add("ftl.migrated_pages", fs.migratedPages);
+    metrics_.add("ftl.erases", fs.erases);
+    metrics_.add("ftl.refresh_pages", fs.refreshPages);
+    metrics_.add("ftl.refresh_erases", fs.refreshErases);
+    metrics_.add("ftl.merge.switch", fs.switchMerges);
+    metrics_.add("ftl.merge.partial", fs.partialMerges);
+    metrics_.add("ftl.merge.full", fs.fullMerges);
+    metrics_.add("ftl.waf.num", fs.wafNumerator());
+    metrics_.add("ftl.waf.den", fs.wafDenominator());
+
     report_.metrics = std::move(metrics_);
     metrics_ = util::MetricsRegistry();
     readCost_->appendMetrics(report_.metrics);

@@ -38,11 +38,12 @@
 #ifndef SENTINELFLASH_SSD_SSD_SIM_HH
 #define SENTINELFLASH_SSD_SSD_SIM_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ssd/config.hh"
-#include "ssd/ftl.hh"
+#include "ssd/ftl/ftl_factory.hh"
 #include "ssd/read_cost.hh"
 #include "trace/trace.hh"
 #include "util/metrics.hh"
@@ -141,9 +142,10 @@ class SsdSim
      * request (with the submission clock and the live metrics),
      * noteCompletion() with each request's completion time,
      * finishRun() once at the end of the run. Pass nullptr to detach;
-     * the monitor must outlive the run.
+     * the monitor must outlive the run. The monitor is also attached
+     * to the FTL so its snapshots can report mapping-layer health.
      */
-    void setHealthMonitor(HealthMonitor *health) { health_ = health; }
+    void setHealthMonitor(HealthMonitor *health);
 
     /**
      * Attach a background scrubber (nullptr detaches). The scrubber
@@ -166,7 +168,7 @@ class SsdSim
     void setWarmReadCost(ReadCostSource *warm) { warmCost_ = warm; }
 
     /** The FTL (tests inspect invariants and refresh state). */
-    const Ftl &ftl() const { return ftl_; }
+    const FtlInterface &ftl() const { return *ftl_; }
 
     /**
      * Heap bytes held by the device state that persists across runs:
@@ -176,7 +178,7 @@ class SsdSim
      */
     std::size_t footprintBytes() const
     {
-        return sizeof(SsdSim) + ftl_.footprintBytes()
+        return sizeof(SsdSim) + ftl_->footprintBytes()
             + (planeFree_.size() + channelFree_.size()) * sizeof(double);
     }
 
@@ -224,7 +226,7 @@ class SsdSim
     SsdTiming timing_;
     ReadCostSource *readCost_;
     util::Rng rng_;
-    Ftl ftl_;
+    std::unique_ptr<FtlInterface> ftl_;
     util::MetricsRegistry metrics_;
     util::SpanTrace *spans_ = nullptr;
     HealthMonitor *health_ = nullptr;

@@ -146,6 +146,47 @@ TEST(BenchArgsDeathTest, ModelConfidenceRejectsBadValues)
                 testing::ExitedWithCode(2), "expected a number");
 }
 
+TEST(BenchArgs, FtlAndGcPolicyParseValidForms)
+{
+    Args absent({"--other", "x"});
+    EXPECT_EQ(ftlArg(absent.argc(), absent.argv()), ssd::FtlKind::Page);
+    EXPECT_EQ(gcPolicyArg(absent.argc(), absent.argv()),
+              ssd::GcVictimPolicy::Greedy);
+    Args page({"--ftl", "page", "--gc-policy", "greedy"});
+    EXPECT_EQ(ftlArg(page.argc(), page.argv()), ssd::FtlKind::Page);
+    EXPECT_EQ(gcPolicyArg(page.argc(), page.argv()),
+              ssd::GcVictimPolicy::Greedy);
+    Args fast({"--ftl=fast", "--gc-policy=costbenefit"});
+    EXPECT_EQ(ftlArg(fast.argc(), fast.argv()), ssd::FtlKind::Fast);
+    EXPECT_EQ(gcPolicyArg(fast.argc(), fast.argv()),
+              ssd::GcVictimPolicy::CostBenefit);
+}
+
+TEST(BenchArgsDeathTest, FtlRejectsUnknownKind)
+{
+    Args a({"--ftl", "dftl"});
+    EXPECT_EXIT(ftlArg(a.argc(), a.argv()), testing::ExitedWithCode(2),
+                "expected \"page\" or \"fast\"");
+    Args caps({"--ftl=Page"}); // strict: no case folding
+    EXPECT_EXIT(ftlArg(caps.argc(), caps.argv()),
+                testing::ExitedWithCode(2), "expected \"page\" or \"fast\"");
+    Args empty({"--ftl="});
+    EXPECT_EXIT(ftlArg(empty.argc(), empty.argv()),
+                testing::ExitedWithCode(2), "expected \"page\" or \"fast\"");
+}
+
+TEST(BenchArgsDeathTest, GcPolicyRejectsUnknownPolicy)
+{
+    Args a({"--gc-policy", "random"});
+    EXPECT_EXIT(gcPolicyArg(a.argc(), a.argv()),
+                testing::ExitedWithCode(2),
+                "expected \"greedy\" or \"costbenefit\"");
+    Args dash({"--gc-policy=cost-benefit"}); // strict: exact spelling
+    EXPECT_EXIT(gcPolicyArg(dash.argc(), dash.argv()),
+                testing::ExitedWithCode(2),
+                "expected \"greedy\" or \"costbenefit\"");
+}
+
 TEST(BenchArgs, LastOccurrenceWins)
 {
     Args a({"--threads", "2", "--threads", "6"});

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "ssd/ftl.hh"
 #include "ssd/scrubber/scrubber.hh"
 #include "ssd/ssd_sim.hh"
 #include "trace/span_analysis.hh"
@@ -243,6 +244,10 @@ TEST(Scrubber, RefreshMigratesErasesAndKeepsFtlInvariants)
     ScrubberConfig cfg = scrubConfig(200.0, 64);
     cfg.refreshRber = 0.005;
     cfg.refreshPageBudget = 32;
+    // Debug mode: the scrubber re-checks every FTL invariant after
+    // each refresh step, so a refresh that corrupts the mapping
+    // panics at the step that broke it, not at the end of the run.
+    cfg.checkInvariants = true;
     Scrubber scrub(cfg, dev);
     FixedReadCost cost(4);
     SsdSim sim(smallConfig(), SsdTiming{}, cost, 1);
@@ -353,6 +358,7 @@ TEST(Scrubber, SurvivesGcAndHostWriteInterleaving)
     ScrubberConfig cfg = scrubConfig(300.0, 64);
     cfg.refreshRber = 0.005;
     cfg.refreshOffsetDac = 5;
+    cfg.checkInvariants = true; // panic at the corrupting step
     core::VoltageCache cache;
     Scrubber scrub(cfg, dev, &cache);
     FixedReadCost cost(4);
